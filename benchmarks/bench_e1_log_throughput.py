@@ -1,0 +1,114 @@
+"""E1 — §4.1: "read/write throughput remains constant independent of log size."
+
+Sweeps the retained log size over two orders of magnitude and measures the
+simulated throughput of (a) tail appends and (b) tail reads, which must stay
+flat.  The contrast baseline is the DFS "topic" (a directory of part files),
+where getting the latest data requires re-reading the directory — a cost
+that grows linearly with history.
+"""
+
+import pytest
+
+from repro.baselines.dfs import SimulatedDFS
+from repro.common.clock import SimClock
+from repro.storage.log import LogConfig, PartitionLog
+
+from reporting import attach, format_table, publish
+
+LOG_SIZES = [1_000, 5_000, 20_000, 50_000]
+PROBE = 500  # operations measured at each size
+
+
+def measure_log_at_size(size: int) -> tuple[float, float]:
+    """Returns (append msgs/s, tail-read msgs/s) in simulated time."""
+    clock = SimClock()
+    log = PartitionLog(
+        "bench-0", LogConfig(segment_max_messages=2000), clock=clock
+    )
+    for i in range(size):
+        log.append(f"k{i % 100}", {"i": i})
+    clock.advance(10.0)  # flush timers settle
+
+    append_cost = 0.0
+    for i in range(PROBE):
+        append_cost += log.append(f"k{i % 100}", {"i": i}).latency
+    read_cost = 0.0
+    cursor = log.log_end_offset - PROBE
+    while cursor < log.log_end_offset:
+        result = log.read(cursor, max_messages=100)
+        if not result.messages:
+            break
+        read_cost += result.latency
+        cursor = result.messages[-1].offset + 1
+    return PROBE / append_cost, PROBE / read_cost
+
+
+def measure_dfs_at_size(size: int) -> float:
+    """Simulated cost of a 'get latest' on a DFS-dir topic of given size."""
+    clock = SimClock()
+    dfs = SimulatedDFS(clock)
+    part = 0
+    for start in range(0, size, 1000):
+        chunk = [{"i": i} for i in range(start, min(start + 1000, size))]
+        dfs.write_file(f"/topic/part-{part:05d}", chunk)
+        part += 1
+    # The consumer has no offsets: it must list + read the directory.
+    return dfs.read_dir("/topic").latency
+
+
+def run_experiment() -> dict:
+    rows = []
+    appends, reads, dfs_costs = [], [], []
+    for size in LOG_SIZES:
+        append_tput, read_tput = measure_log_at_size(size)
+        dfs_cost = measure_dfs_at_size(size)
+        appends.append(append_tput)
+        reads.append(read_tput)
+        dfs_costs.append(dfs_cost)
+        rows.append(
+            [size, f"{append_tput:,.0f}", f"{read_tput:,.0f}", dfs_cost]
+        )
+    table = format_table(
+        "E1  Log throughput vs. retained size (simulated)",
+        ["log size (msgs)", "append msgs/s", "tail read msgs/s",
+         "DFS 'read latest' (s)"],
+        rows,
+        notes=[
+            "paper: 'read/write throughput remains constant independent of "
+            "log size' (4.1)",
+            "DFS baseline must re-read the directory: cost grows with history",
+        ],
+    )
+    publish("e1_log_throughput", table)
+    return {
+        "append_flatness": max(appends) / min(appends),
+        "read_flatness": max(reads) / min(reads),
+        "dfs_growth": dfs_costs[-1] / dfs_costs[0],
+    }
+
+
+class TestE1Shape:
+    def test_log_throughput_flat_and_dfs_grows(self):
+        metrics = run_experiment()
+        # Flat: < 2x spread over a 50x size sweep.
+        assert metrics["append_flatness"] < 2.0
+        assert metrics["read_flatness"] < 2.0
+        # DFS read-latest cost grows roughly with size (50x data -> >10x cost).
+        assert metrics["dfs_growth"] > 10.0
+
+
+@pytest.mark.benchmark(group="e1")
+def test_e1_append_kernel(benchmark):
+    """Wall-clock kernel: appends to an already-large log."""
+    clock = SimClock()
+    log = PartitionLog("k-0", LogConfig(segment_max_messages=2000), clock=clock)
+    for i in range(20_000):
+        log.append(f"k{i % 100}", {"i": i})
+
+    counter = iter(range(10**9))
+
+    def append_one():
+        log.append("key", {"i": next(counter)})
+
+    benchmark(append_one)
+    attach(benchmark, log_size=log.log_end_offset)

@@ -1,0 +1,226 @@
+"""E7 — §2.2: Lambda vs. Kappa vs. Liquid on the same workload.
+
+The paper's criticisms, made measurable:
+
+* Lambda: "developers must write, debug, and maintain the same processing
+  code for both the batch and stream layers, and the Lambda architecture
+  increases the hardware footprint";
+* Kappa: "only requires a single processing path, but it has a higher
+  storage footprint, and applications access stale data while the system is
+  re-processing";
+* Liquid: single code path AND reprocessing runs as just another isolated
+  job, so the nearline path keeps serving fresh results throughout.
+
+Workload: keyed event counting over the same stream, with one mid-run
+algorithm change (v1 -> v2) that forces each architecture to re-process.
+"""
+
+import pytest
+
+from repro.baselines.kappa_arch import KappaArchitecture
+from repro.baselines.lambda_arch import LambdaArchitecture
+from repro.common.clock import SimClock
+from repro.core.liquid import Liquid
+from repro.processing.job import JobConfig, StoreConfig
+
+from reporting import attach, format_table, publish
+
+EVENTS = 2_000
+WORDS = 20
+
+
+def events(n, start=0):
+    return [{"w": f"w{i % WORDS}", "i": start + i} for i in range(n)]
+
+
+def run_lambda() -> dict:
+    lam = LambdaArchitecture(ingest_batch_size=500)
+    lam.register_stream_logic(
+        lambda view, e: view.__setitem__(e["w"], view.get(e["w"], 0) + 1)
+    )
+    lam.register_batch_logic(lambda e: [(e["w"], 1)], lambda k, vs: sum(vs))
+    lam.ingest(events(EVENTS))
+    lam.run_speed_layer()
+    lam.run_batch_layer()
+    # Algorithm change: BOTH implementations must be rewritten and the
+    # batch layer recomputed.
+    change_start = lam.clock.now()
+    lam.register_stream_logic(
+        lambda view, e: view.__setitem__(e["w"], view.get(e["w"], 0) + 2)
+    )
+    lam.register_batch_logic(lambda e: [(e["w"], 2)], lambda k, vs: sum(vs))
+    lam.run_batch_layer()
+    staleness_window = lam.clock.now() - change_start
+    metrics = lam.metrics()
+    return {
+        "arch": "Lambda",
+        "code_paths": metrics.code_paths,
+        "storage_bytes": metrics.storage_bytes,
+        "compute_s": metrics.batch_compute_seconds + metrics.speed_compute_seconds,
+        "staleness_s": staleness_window,
+        "v2_answer": lam.query("w0"),
+    }
+
+
+def run_kappa() -> dict:
+    kappa = KappaArchitecture()
+    kappa.register_logic(
+        lambda view, e: view.__setitem__(e["w"], view.get(e["w"], 0) + 1), "v1"
+    )
+    kappa.ingest(events(EVENTS))
+    kappa.process()
+    staleness_window = kappa.reprocess(
+        lambda view, e: view.__setitem__(e["w"], view.get(e["w"], 0) + 2), "v2"
+    )
+    metrics = kappa.metrics()
+    return {
+        "arch": "Kappa",
+        "code_paths": metrics.code_paths,
+        "storage_bytes": metrics.storage_bytes,
+        "compute_s": metrics.compute_seconds + metrics.reprocess_seconds,
+        "staleness_s": staleness_window,
+        "v2_answer": kappa.query("w0"),
+    }
+
+
+class _CountTask:
+    def __init__(self, output: str, weight: int) -> None:
+        self.output = output
+        self.weight = weight
+
+    def init(self, context):
+        self.counts = context.store("counts")
+
+    def process(self, record, collector):
+        word = record.value["w"]
+        count = self.counts.get_or_default(word, 0) + self.weight
+        self.counts.put(word, count)
+        collector.send(self.output, {"w": word, "count": count}, key=word)
+
+
+def run_liquid() -> dict:
+    liquid = Liquid(num_brokers=1)
+    liquid.create_feed("events", partitions=1)
+    v1 = liquid.submit_job(
+        JobConfig(name="count-v1", inputs=["events"], version="v1",
+                  task_factory=lambda: _CountTask("counts-v1", 1),
+                  stores=[StoreConfig("counts")]),
+        outputs=["counts-v1"],
+    )
+    producer = liquid.producer()
+    for event in events(EVENTS):
+        producer.send("events", event, key=event["w"])
+    liquid.process_available()
+
+    # Algorithm change: ONE new implementation, submitted as a new job that
+    # replays the retained log while v1 keeps serving.
+    change_start = liquid.clock.now()
+    v2 = liquid.submit_job(
+        JobConfig(name="count-v2", inputs=["events"], version="v2",
+                  task_factory=lambda: _CountTask("counts-v2", 2),
+                  stores=[StoreConfig("counts")]),
+        outputs=["counts-v2"],
+    )
+    liquid.process_available()
+    staleness_window = liquid.clock.now() - change_start
+    v2_state = {
+        k: v for t in v2.tasks() for k, v in t.stores["counts"].items()
+    }
+    # Input storage only: the baselines keep their serving views in plain
+    # dicts outside their accounted storage, so the comparable footprint is
+    # the retained input data (Lambda keeps it twice, Kappa/Liquid once).
+    input_bytes = sum(
+        broker.replica(tp).log.size_bytes
+        for tp in liquid.cluster.partitions_of("events")
+        for broker in liquid.cluster.brokers()
+        if broker.hosts(tp)
+    )
+    compute = (
+        (v1.records_processed + v2.records_processed)
+        * liquid.cluster.cost_model.cpu_per_message
+    )
+    return {
+        "arch": "Liquid",
+        "code_paths": 1,
+        "storage_bytes": input_bytes,
+        "compute_s": compute,
+        "staleness_s": staleness_window,
+        "v2_answer": v2_state["w0"],
+        "v1_still_serving": v1.backlog() == 0,
+    }
+
+
+def run_experiment() -> dict:
+    results = {r["arch"]: r for r in (run_lambda(), run_kappa(), run_liquid())}
+    rows = [
+        [
+            r["arch"],
+            r["code_paths"],
+            f"{r['storage_bytes'] / 1024:.0f} KB",
+            r["compute_s"],
+            r["staleness_s"],
+        ]
+        for r in results.values()
+    ]
+    table = format_table(
+        "E7  Architecture comparison on one algorithm change (simulated)",
+        ["architecture", "code paths", "input storage",
+         "total compute (s)", "v2-staleness window (s)"],
+        rows,
+        notes=[
+            "paper 2.2: Lambda doubles code + hardware; Kappa single-path "
+            "but stale during reprocess; Liquid reprocesses as an isolated "
+            "parallel job on one code path",
+            f"workload: {EVENTS} keyed events, counting, algorithm v1->v2",
+            "input storage = retained copies of the event stream (serving "
+            "views excluded for all three)",
+        ],
+    )
+    publish("e7_architectures", table)
+    return results
+
+
+class TestE7Shape:
+    def test_all_architectures_agree_on_the_answer(self):
+        results = run_experiment()
+        expected = 2 * (EVENTS // WORDS)
+        assert results["Lambda"]["v2_answer"] == expected
+        assert results["Kappa"]["v2_answer"] == expected
+        assert results["Liquid"]["v2_answer"] == expected
+
+    def test_lambda_pays_double_code_and_storage(self):
+        results = run_experiment()
+        assert results["Lambda"]["code_paths"] == 2
+        assert results["Kappa"]["code_paths"] == 1
+        assert results["Liquid"]["code_paths"] == 1
+        # Lambda stores the data twice (DFS master + stream log).
+        assert (
+            results["Lambda"]["storage_bytes"]
+            > 1.5 * results["Kappa"]["storage_bytes"]
+        )
+
+    def test_lambda_batch_compute_dominates(self):
+        results = run_experiment()
+        assert results["Lambda"]["compute_s"] > 10 * results["Kappa"]["compute_s"]
+        assert results["Lambda"]["compute_s"] > 10 * results["Liquid"]["compute_s"]
+
+    def test_lambda_staleness_driven_by_batch_job(self):
+        results = run_experiment()
+        # Lambda's new algorithm waits for a full MR recompute (tens of s);
+        # Kappa and Liquid replay the log in sub-second simulated time at
+        # this scale.
+        assert results["Lambda"]["staleness_s"] > 10.0
+        assert results["Kappa"]["staleness_s"] < 2.0
+        assert results["Liquid"]["staleness_s"] < 2.0
+
+    def test_liquid_nearline_path_unaffected_by_reprocess(self):
+        results = run_experiment()
+        assert results["Liquid"]["v1_still_serving"]
+
+
+@pytest.mark.benchmark(group="e7")
+def test_e7_liquid_kernel(benchmark):
+    simulated = benchmark.pedantic(
+        lambda: run_liquid()["staleness_s"], rounds=2, iterations=1
+    )
+    attach(benchmark, v2_staleness_s=simulated)

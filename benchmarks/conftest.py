@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration."""
+
+import sys
+import pathlib
+
+# Make `reporting` importable when pytest is invoked from the repo root.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))

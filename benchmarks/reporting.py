@@ -1,0 +1,62 @@
+"""Shared result reporting for the experiment benchmarks.
+
+Every experiment prints the rows/series the paper's claim corresponds to and
+appends them to ``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can
+quote them.  Simulated metrics also go into pytest-benchmark's ``extra_info``
+where available, keeping wall-clock and simulated numbers side by side.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Sequence
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render an aligned text table with a title and optional notes."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def publish(experiment: str, table: str) -> None:
+    """Print the table and persist it under benchmarks/results/."""
+    print("\n" + table + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment}.txt"
+    path.write_text(table + "\n")
+
+
+def attach(benchmark, **metrics: Any) -> None:
+    """Attach simulated metrics to the pytest-benchmark record, if present."""
+    if benchmark is not None:
+        for key, value in metrics.items():
+            benchmark.extra_info[key] = value

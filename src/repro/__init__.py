@@ -1,0 +1,49 @@
+"""repro — a from-scratch reproduction of Liquid (CIDR 2015).
+
+Liquid is LinkedIn's nearline data integration stack: a highly-available
+publish/subscribe *messaging layer* (Apache Kafka) underneath a stateful
+stream-processing *processing layer* (Apache Samza).  This package rebuilds
+both layers, their substrates (segmented commit logs, a simulated OS page
+cache, a ZooKeeper-like coordinator, an LSM state store), and the systems
+the paper compares against (an MR/DFS stack, the Lambda and Kappa
+architectures), all over a deterministic simulated clock.
+
+Public entry point::
+
+    from repro import Liquid
+
+    liquid = Liquid(num_brokers=3)
+    liquid.create_feed("page-views", partitions=4)
+
+See README.md for the architecture tour and examples/ for runnable
+scenarios.
+"""
+
+from repro.common.clock import SimClock
+from repro.common.costmodel import CostModel
+from repro.common.errors import LiquidError
+from repro.common.records import ConsumerRecord, ProducerRecord, TopicPartition
+from repro.core.liquid import Liquid
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.consumer import Consumer
+from repro.messaging.producer import Producer
+from repro.processing.job import JobConfig, JobRunner, StoreConfig
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Liquid",
+    "MessagingCluster",
+    "Producer",
+    "Consumer",
+    "JobConfig",
+    "JobRunner",
+    "StoreConfig",
+    "SimClock",
+    "CostModel",
+    "LiquidError",
+    "TopicPartition",
+    "ProducerRecord",
+    "ConsumerRecord",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Baseline systems the paper compares against: MR/DFS, Lambda, Kappa."""
+
+from repro.baselines.dfs import DfsFile, DfsOpResult, SimulatedDFS
+from repro.baselines.hourglass import HourglassJob, HourglassRunResult
+from repro.baselines.kappa_arch import KappaArchitecture, KappaMetrics
+from repro.baselines.lambda_arch import LambdaArchitecture, LambdaMetrics
+from repro.baselines.mapreduce import (
+    MapReduceEngine,
+    MRJobResult,
+    MRJobSpec,
+)
+
+__all__ = [
+    "SimulatedDFS",
+    "DfsFile",
+    "DfsOpResult",
+    "MapReduceEngine",
+    "MRJobSpec",
+    "MRJobResult",
+    "LambdaArchitecture",
+    "LambdaMetrics",
+    "KappaArchitecture",
+    "KappaMetrics",
+    "HourglassJob",
+    "HourglassRunResult",
+]

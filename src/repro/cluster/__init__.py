@@ -1,0 +1,24 @@
+"""Coordination substrate: ZooKeeper-like coordinator, controller, faults."""
+
+from repro.cluster.controller import ClusterController, PartitionState
+from repro.cluster.coordinator import (
+    EVENT_CHANGED,
+    EVENT_CHILD,
+    EVENT_CREATED,
+    EVENT_DELETED,
+    Coordinator,
+    Session,
+)
+from repro.cluster.failures import FailureInjector
+
+__all__ = [
+    "Coordinator",
+    "Session",
+    "ClusterController",
+    "PartitionState",
+    "FailureInjector",
+    "EVENT_CREATED",
+    "EVENT_DELETED",
+    "EVENT_CHANGED",
+    "EVENT_CHILD",
+]

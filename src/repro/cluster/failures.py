@@ -1,0 +1,83 @@
+"""Failure injection for availability experiments (E5) and recovery tests.
+
+§iii of the paper's property list: "the data must be highly available for
+both reads and writes under common cluster failures."  The injector lets
+tests and benchmarks script those failures — broker crashes, restarts, and
+network partitions between clients and brokers — at exact simulated times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.clock import SimClock
+
+
+@dataclass(order=True)
+class _ScheduledFault:
+    at: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class FailureInjector:
+    """Schedules fault actions on a :class:`SimClock` and records a timeline.
+
+    Actions are arbitrary callables so the injector stays decoupled from the
+    messaging layer; convenience helpers cover the common cases once given a
+    cluster object exposing ``kill_broker`` / ``restart_broker``.
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self.timeline: list[tuple[float, str]] = []
+        self._seq = 0
+
+    def at(self, when: float, action: Callable[[], Any], label: str = "") -> None:
+        """Run ``action`` at absolute simulated time ``when``."""
+        self._seq += 1
+
+        def fire() -> None:
+            self.timeline.append((self.clock.now(), label or repr(action)))
+            action()
+
+        self.clock.schedule_at(when, fire)
+
+    def after(self, delay: float, action: Callable[[], Any], label: str = "") -> None:
+        """Run ``action`` ``delay`` seconds from now."""
+        self.at(self.clock.now() + delay, action, label)
+
+    # -- convenience helpers (duck-typed against MessagingCluster) ---------------
+
+    def kill_broker_at(self, when: float, cluster: Any, broker_id: int) -> None:
+        self.at(
+            when,
+            lambda: cluster.kill_broker(broker_id),
+            label=f"kill broker {broker_id}",
+        )
+
+    def restart_broker_at(self, when: float, cluster: Any, broker_id: int) -> None:
+        self.at(
+            when,
+            lambda: cluster.restart_broker(broker_id),
+            label=f"restart broker {broker_id}",
+        )
+
+    def kill_leader_at(self, when: float, cluster: Any, topic: str, partition: int) -> None:
+        """Kill whichever broker leads the partition *at fire time*."""
+
+        def action() -> None:
+            leader = cluster.leader_of(topic, partition)
+            if leader is not None:
+                self.timeline.append(
+                    (self.clock.now(), f"killing leader {leader} of {topic}-{partition}")
+                )
+                cluster.kill_broker(leader)
+
+        self.at(when, action, label=f"kill leader of {topic}-{partition}")
+
+    def events(self) -> list[tuple[float, str]]:
+        """Timeline of fired faults: (simulated time, label)."""
+        return list(self.timeline)

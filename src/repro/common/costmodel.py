@@ -1,0 +1,153 @@
+"""Hardware cost model for the simulated substrate.
+
+The paper's performance claims (§4.1: constant throughput independent of log
+size, RAM-speed head-of-log reads, seek-then-prefetch rewind reads; §1: MR
+pipeline latency) all reduce to the relative costs of RAM access, sequential
+disk I/O, random disk I/O, and network hops.  This module centralizes those
+costs so every layer — page cache, replication, DFS baseline, MR engine —
+charges time consistently, and so EXPERIMENTS.md can document the exact
+parameters behind each number.
+
+Defaults approximate the commodity hardware of the paper's era (2014):
+7200rpm disks behind an OS page cache, 10GbE-class intra-datacenter links,
+and multi-second MR job startup on YARN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Latency/bandwidth parameters charged to the simulated clock.
+
+    All times are seconds, all bandwidths bytes/second.  Instances are
+    immutable; derive variants with :meth:`scaled` or ``dataclasses.replace``.
+    """
+
+    # Memory hierarchy.
+    ram_bandwidth: float = 10e9           # sequential RAM copy
+    disk_seq_read_bandwidth: float = 150e6
+    disk_seq_write_bandwidth: float = 120e6
+    disk_seek_time: float = 8e-3          # one random seek (7200rpm class)
+    page_size: int = 64 * 1024            # granularity of the page cache
+
+    # Network (intra-datacenter).
+    network_rtt: float = 0.5e-3
+    network_bandwidth: float = 1.0e9      # ~10GbE with protocol overhead
+
+    # Per-request software overheads.
+    request_overhead: float = 50e-6       # RPC dispatch, bookkeeping
+    cpu_per_message: float = 2e-6         # serialization + routing per message
+
+    # Batch-stack costs (MR/DFS baseline).
+    mr_job_startup: float = 10.0          # YARN container negotiation + JVM spin-up
+    mr_task_startup: float = 1.0          # per map/reduce task launch
+    dfs_open_overhead: float = 20e-3      # namenode round trip + block lookup
+    dfs_block_size: int = 64 * 1024 * 1024
+
+    # State-store costs (RocksDB-like).
+    store_memtable_get: float = 0.5e-6
+    store_run_get: float = 30e-6          # one sorted-run probe (bloom miss path)
+    store_put: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        for name in (
+            "ram_bandwidth",
+            "disk_seq_read_bandwidth",
+            "disk_seq_write_bandwidth",
+            "network_bandwidth",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"{name} must be > 0")
+        if self.page_size <= 0 or self.dfs_block_size <= 0:
+            raise ConfigError("page_size and dfs_block_size must be > 0")
+
+    # -- memory / disk ------------------------------------------------------
+
+    def ram_read(self, nbytes: int) -> float:
+        """Cost of copying ``nbytes`` out of the page cache."""
+        return nbytes / self.ram_bandwidth
+
+    def ram_write(self, nbytes: int) -> float:
+        """Cost of writing ``nbytes`` into the page cache."""
+        return nbytes / self.ram_bandwidth
+
+    def disk_sequential_read(self, nbytes: int) -> float:
+        """Cost of streaming ``nbytes`` from disk with no seek."""
+        return nbytes / self.disk_seq_read_bandwidth
+
+    def disk_sequential_write(self, nbytes: int) -> float:
+        """Cost of streaming ``nbytes`` to disk with no seek."""
+        return nbytes / self.disk_seq_write_bandwidth
+
+    def disk_random_read(self, nbytes: int) -> float:
+        """One seek followed by a sequential read of ``nbytes``."""
+        return self.disk_seek_time + self.disk_sequential_read(nbytes)
+
+    # -- network ------------------------------------------------------------
+
+    def network_transfer(self, nbytes: int) -> float:
+        """One round trip plus the wire time for ``nbytes``."""
+        return self.network_rtt + nbytes / self.network_bandwidth
+
+    def network_oneway(self, nbytes: int) -> float:
+        """Half a round trip plus wire time (fire-and-forget sends)."""
+        return self.network_rtt / 2 + nbytes / self.network_bandwidth
+
+    # -- software -----------------------------------------------------------
+
+    def request(self, nmessages: int = 1) -> float:
+        """Fixed request overhead plus per-message CPU cost."""
+        return self.request_overhead + nmessages * self.cpu_per_message
+
+    # -- derivation helpers ---------------------------------------------------
+
+    def scaled(self, factor: float) -> "CostModel":
+        """Return a model with every *time* cost multiplied by ``factor``.
+
+        Bandwidths are divided by the factor so that all derived latencies
+        scale uniformly.  Useful for modelling slower/faster hardware tiers
+        in ablation benchmarks.
+        """
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be > 0, got {factor}")
+        return replace(
+            self,
+            ram_bandwidth=self.ram_bandwidth / factor,
+            disk_seq_read_bandwidth=self.disk_seq_read_bandwidth / factor,
+            disk_seq_write_bandwidth=self.disk_seq_write_bandwidth / factor,
+            network_bandwidth=self.network_bandwidth / factor,
+            disk_seek_time=self.disk_seek_time * factor,
+            network_rtt=self.network_rtt * factor,
+            request_overhead=self.request_overhead * factor,
+            cpu_per_message=self.cpu_per_message * factor,
+            mr_job_startup=self.mr_job_startup * factor,
+            mr_task_startup=self.mr_task_startup * factor,
+            dfs_open_overhead=self.dfs_open_overhead * factor,
+            store_memtable_get=self.store_memtable_get * factor,
+            store_run_get=self.store_run_get * factor,
+            store_put=self.store_put * factor,
+        )
+
+    def describe(self) -> dict[str, Any]:
+        """Dict of parameters for inclusion in experiment reports."""
+        return {
+            "ram_bandwidth_gbps": self.ram_bandwidth / 1e9,
+            "disk_seq_read_mbps": self.disk_seq_read_bandwidth / 1e6,
+            "disk_seq_write_mbps": self.disk_seq_write_bandwidth / 1e6,
+            "disk_seek_ms": self.disk_seek_time * 1e3,
+            "network_rtt_us": self.network_rtt * 1e6,
+            "network_bandwidth_gbps": self.network_bandwidth / 1e9,
+            "request_overhead_us": self.request_overhead * 1e6,
+            "mr_job_startup_s": self.mr_job_startup,
+            "dfs_block_size_mb": self.dfs_block_size / (1024 * 1024),
+        }
+
+
+#: Default model used when a component is constructed without one.
+DEFAULT_COST_MODEL = CostModel()

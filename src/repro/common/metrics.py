@@ -1,0 +1,206 @@
+"""Lightweight metrics registry: counters, gauges, and latency histograms.
+
+Both layers of the stack expose operational metrics the way the paper's §5.1
+"operational analysis" use case assumes — everything a broker, producer, or
+job does is countable and timeable.  The registry is also how benchmarks
+collect simulated latencies: components record observations, the harness
+reads percentiles.
+
+Kept intentionally simple (plain lists, no reservoir sampling) because runs
+are bounded and determinism matters more than constant memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A value that can move up and down (e.g. cache residency bytes)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def add(self, delta: float) -> None:
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """Records observations and answers percentile queries.
+
+    Percentiles use linear interpolation between closest ranks, matching
+    ``numpy.percentile``'s default, so report numbers are stable across
+    implementations.
+    """
+
+    __slots__ = ("name", "_values", "_sorted")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        if self._values and value < self._values[-1]:
+            self._sorted = False
+        self._values.append(value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def mean(self) -> float:
+        if not self._values:
+            return 0.0
+        return self.total / len(self._values)
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Return the ``pct``-th percentile (0-100) of observations."""
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if not self._values:
+            return 0.0
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        values = self._values
+        if len(values) == 1:
+            return values[0]
+        rank = (pct / 100) * (len(values) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return values[low]
+        frac = rank - low
+        return values[low] * (1 - frac) + values[high] * frac
+
+    def snapshot(self) -> dict[str, float]:
+        """Summary dict (count/mean/min/p50/p95/p99/max) for reports."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def values(self) -> list[float]:
+        """Copy of raw observations (benchmarks fit curves on these)."""
+        return list(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean:.6g})"
+
+
+class MetricsRegistry:
+    """Namespace of metrics, created on first use.
+
+    A metric name identifies one instrument; asking for the same name with a
+    different type is an error, which catches typos early.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def _get_or_create(self, name: str, cls: type) -> "Counter | Gauge | Histogram":
+        existing = self._metrics.get(name)
+        if existing is None:
+            created = cls(name)
+            self._metrics[name] = created
+            return created
+        if not isinstance(existing, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}, requested {cls.__name__}"
+            )
+        return existing
+
+    def get(self, name: str) -> "Counter | Gauge | Histogram | None":
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator["Counter | Gauge | Histogram"]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, object]:
+        """Flatten all metrics into a report-friendly dict."""
+        out: dict[str, object] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.snapshot()
+            else:
+                out[name] = metric.value
+        return out
+
+    def clear(self) -> None:
+        self._metrics.clear()

@@ -1,0 +1,132 @@
+"""Message types exchanged through the messaging layer.
+
+The paper's unit of data is the *message*: an optionally-keyed value appended
+to a topic partition, identified by a per-partition monotonically increasing
+*offset* (§3.1).  We mirror the Kafka client split:
+
+* :class:`ProducerRecord` — what a client hands to a producer (no offset yet;
+  partition may be left for the partitioner to choose).
+* :class:`StoredMessage` — what the log physically keeps (key, value,
+  timestamp, headers; the offset is implied by log position and stamped on
+  the way out).
+* :class:`ConsumerRecord` — what a consumer receives (full provenance:
+  topic, partition, offset).
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+
+def estimate_size(value: Any) -> int:
+    """Approximate serialized size in bytes of a message component.
+
+    The page cache and cost model charge I/O by byte count, so sizes need to
+    be stable and cheap, not exact.  Strings/bytes use their true length;
+    containers recurse; other scalars use fixed costs.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, Mapping):
+        return sum(
+            estimate_size(k) + estimate_size(v) + 2 for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return sum(estimate_size(item) + 1 for item in value)
+    # Fallback: shallow object size, better than guessing zero.
+    return sys.getsizeof(value)
+
+
+@dataclass
+class ProducerRecord:
+    """A message as submitted by a producer.
+
+    ``partition=None`` delegates the choice to the producer's partitioner
+    (hash of key if keyed, round-robin otherwise), matching §3.1: "producers
+    can choose to which partition to publish data in a round-robin fashion or
+    according to a hash function".
+    """
+
+    topic: str
+    value: Any
+    key: Any = None
+    partition: int | None = None
+    timestamp: float | None = None
+    headers: dict[str, Any] = field(default_factory=dict)
+
+    def size_bytes(self) -> int:
+        return (
+            estimate_size(self.key)
+            + estimate_size(self.value)
+            + estimate_size(self.headers)
+        )
+
+
+@dataclass
+class StoredMessage:
+    """A message at rest inside a log segment.
+
+    Offsets are positional: ``segment.base_offset + index``.  Storing them
+    implicitly keeps compaction simple (surviving messages keep their
+    original offsets via an explicit field set at append time).
+    """
+
+    key: Any
+    value: Any
+    timestamp: float
+    offset: int
+    headers: dict[str, Any] = field(default_factory=dict)
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size == 0:
+            self.size = (
+                estimate_size(self.key)
+                + estimate_size(self.value)
+                + estimate_size(self.headers)
+                + 24  # per-record framing overhead (offset, length, crc)
+            )
+
+
+@dataclass(frozen=True)
+class ConsumerRecord:
+    """A message as delivered to a consumer, with full provenance."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: Any
+    value: Any
+    timestamp: float
+    headers: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return (
+            estimate_size(self.key)
+            + estimate_size(self.value)
+            + estimate_size(dict(self.headers))
+        )
+
+
+@dataclass(frozen=True)
+class TopicPartition:
+    """Identifies one partition of one topic (hashable; used as dict key)."""
+
+    topic: str
+    partition: int
+
+    def __str__(self) -> str:
+        return f"{self.topic}-{self.partition}"

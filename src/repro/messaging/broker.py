@@ -1,0 +1,213 @@
+"""Brokers: the machines of the messaging layer (§3.1).
+
+"Each broker runs on a different physical machine that handles topics and
+the partitions for these topics by answering requests from clients."
+
+A broker owns one simulated page cache (its machine's RAM) shared by all
+partition replicas it hosts, plus per-topic maintenance state (retention
+enforcement, compaction).  All client-visible operations go through
+:meth:`produce` / :meth:`fetch`, which add request overhead and enforce
+leadership; replication traffic uses :meth:`replica_fetch`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.clock import Clock
+from repro.common.costmodel import CostModel
+from repro.common.errors import (
+    BrokerUnavailableError,
+    ConfigError,
+    PartitionNotFoundError,
+)
+from repro.common.metrics import MetricsRegistry
+from repro.common.records import StoredMessage, TopicPartition
+from repro.storage.compaction import CompactionConfig, LogCompactor
+from repro.storage.log import PartitionLog, ReadResult
+from repro.storage.pagecache import PageCache
+from repro.storage.retention import RetentionEnforcer
+from repro.messaging.partition import PartitionReplica, ProduceResult
+from repro.messaging.topic import TopicConfig
+
+
+class Broker:
+    """One broker node hosting a set of partition replicas."""
+
+    def __init__(
+        self,
+        broker_id: int,
+        clock: Clock,
+        cost_model: CostModel,
+        page_cache_bytes: int = 256 * 1024 * 1024,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.broker_id = broker_id
+        self.clock = clock
+        self.cost_model = cost_model
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.page_cache = PageCache(
+            clock=clock,
+            cost_model=cost_model,
+            capacity_bytes=page_cache_bytes,
+            metrics=self.metrics,
+        )
+        self.online = True
+        self._replicas: dict[TopicPartition, PartitionReplica] = {}
+        self._topic_configs: dict[str, TopicConfig] = {}
+        self._compactor = LogCompactor(CompactionConfig(), clock=clock)
+
+    # -- partition hosting ----------------------------------------------------------
+
+    def host_partition(
+        self, partition: TopicPartition, config: TopicConfig
+    ) -> PartitionReplica:
+        """Create a local replica of ``partition`` on this broker."""
+        if partition in self._replicas:
+            raise ConfigError(f"{partition} already hosted on broker {self.broker_id}")
+        log = PartitionLog(
+            name=f"broker-{self.broker_id}/{partition}",
+            config=config.log,
+            clock=self.clock,
+            cost_model=self.cost_model,
+            page_cache=self.page_cache,
+        )
+        replica = PartitionReplica(partition, self.broker_id, log)
+        self._replicas[partition] = replica
+        self._topic_configs[partition.topic] = config
+        return replica
+
+    def replica(self, partition: TopicPartition) -> PartitionReplica:
+        replica = self._replicas.get(partition)
+        if replica is None:
+            raise PartitionNotFoundError(
+                f"{partition} not hosted on broker {self.broker_id}"
+            )
+        return replica
+
+    def hosts(self, partition: TopicPartition) -> bool:
+        return partition in self._replicas
+
+    def replicas(self) -> list[PartitionReplica]:
+        return list(self._replicas.values())
+
+    def led_partitions(self) -> list[TopicPartition]:
+        return [tp for tp, r in self._replicas.items() if r.role == "leader"]
+
+    # -- client request paths -----------------------------------------------------------
+
+    def _check_online(self) -> None:
+        if not self.online:
+            raise BrokerUnavailableError(f"broker {self.broker_id} is offline")
+
+    def produce(
+        self,
+        partition: TopicPartition,
+        entries: list[tuple[Any, Any, float, dict[str, Any]]],
+        epoch: int | None = None,
+        producer_id: int | None = None,
+        producer_seq: int | None = None,
+    ) -> tuple[ProduceResult, float]:
+        """Append a batch on the leader replica; returns (result, latency)."""
+        self._check_online()
+        replica = self.replica(partition)
+        result = replica.append_batch(entries, epoch, producer_id, producer_seq)
+        latency = self.cost_model.request(len(entries)) + result.latency
+        self.metrics.counter("broker.messages_in").increment(len(entries))
+        self.metrics.histogram("broker.produce_latency").observe(latency)
+        return result, latency
+
+    def fetch(
+        self,
+        partition: TopicPartition,
+        offset: int,
+        max_messages: int = 100,
+        max_bytes: int | None = None,
+        isolation: str = "read_uncommitted",
+    ) -> tuple[ReadResult, float]:
+        """Consumer fetch (committed data only); returns (result, latency)."""
+        self._check_online()
+        replica = self.replica(partition)
+        result = replica.fetch(
+            offset, max_messages, max_bytes, committed_only=True,
+            isolation=isolation,
+        )
+        latency = self.cost_model.request(len(result.messages)) + result.latency
+        self.metrics.counter("broker.messages_out").increment(len(result.messages))
+        self.metrics.histogram("broker.fetch_latency").observe(latency)
+        return result, latency
+
+    def replica_fetch(
+        self,
+        partition: TopicPartition,
+        offset: int,
+        follower_id: int,
+        max_messages: int = 1000,
+    ) -> tuple[list[StoredMessage], int, int]:
+        """Follower fetch from this (leader) broker.
+
+        Returns ``(messages, leader_leo, leader_hw)``.  As in Kafka, the
+        fetch *offset itself* tells the leader how far the follower has got:
+        the leader records it and may advance the high watermark.
+        """
+        self._check_online()
+        replica = self.replica(partition)
+        hw = replica.record_follower_position(follower_id, offset)
+        result = replica.fetch(offset, max_messages, committed_only=False)
+        return result.messages, replica.log_end_offset, hw
+
+    # -- maintenance (driven by the cluster tick) -------------------------------------------
+
+    def run_retention(self) -> int:
+        """Enforce retention on all delete-policy replicas; returns messages
+        deleted."""
+        deleted = 0
+        for partition, replica in self._replicas.items():
+            config = self._topic_configs[partition.topic]
+            if config.compacted or not config.retention.enabled:
+                continue
+            enforcer = RetentionEnforcer(config.retention, self.clock)
+            result = enforcer.enforce(replica.log)
+            deleted += result.messages_deleted
+        if deleted:
+            self.metrics.counter("broker.retention_deleted").increment(deleted)
+        return deleted
+
+    def run_compaction(self) -> int:
+        """Compact all compact-policy replicas; returns messages removed."""
+        removed = 0
+        for partition, replica in self._replicas.items():
+            config = self._topic_configs[partition.topic]
+            if not config.compacted:
+                continue
+            result = self._compactor.compact(replica.log)
+            removed += result.messages_removed
+        if removed:
+            self.metrics.counter("broker.compaction_removed").increment(removed)
+        return removed
+
+    # -- lifecycle ----------------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Crash/stop the broker.  Logs survive (they are disk-backed); the
+        page cache does not (it is RAM)."""
+        self.online = False
+        for replica in self._replicas.values():
+            replica.mark_offline()
+        # Losing the machine loses its RAM: cold cache on restart.
+        for partition in self._replicas:
+            for segment in self._replicas[partition].log.segments():
+                self.page_cache.forget_file(
+                    self._replicas[partition].log._file_id(segment)
+                )
+
+    def startup(self) -> None:
+        """Restart after a crash; replicas come back as followers that must
+        re-sync before rejoining any ISR."""
+        self.online = True
+        for replica in self._replicas.values():
+            replica.become_follower(replica.leader_epoch)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "online" if self.online else "offline"
+        return f"Broker({self.broker_id}, {state}, replicas={len(self._replicas)})"

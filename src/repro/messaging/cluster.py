@@ -1,0 +1,499 @@
+"""The messaging layer facade: a simulated Kafka cluster (§3.1, §4).
+
+Owns the brokers, the coordinator/controller pair, the replication loop, and
+the offset manager, and exposes the produce/fetch/metadata surface that
+producers, consumers and the processing layer use.  One instance corresponds
+to one of the paper's messaging clusters.
+
+Durability semantics follow §4.3: ``acks`` selects the durability/latency
+trade-off —
+
+* ``"none"``  — fire-and-forget (minimum durability, minimum latency);
+* ``"leader"`` — acknowledged after the leader's append (Kafka acks=1);
+* ``"all"``   — acknowledged after every in-sync replica has the data
+  (maximum durability; rejected if the ISR is below ``min_insync_replicas``).
+
+Delivery is at-least-once: producers retry on transient errors, and a retry
+after an ambiguous failure may duplicate (unless the idempotent producer is
+used — the paper's "ongoing effort" towards exactly-once).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.clock import Clock, SimClock
+from repro.common.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.common.errors import (
+    BrokerUnavailableError,
+    ConfigError,
+    NotEnoughReplicasError,
+    TopicAlreadyExistsError,
+    TopicNotFoundError,
+)
+from repro.common.metrics import MetricsRegistry
+from repro.common.records import ConsumerRecord, TopicPartition, estimate_size
+from repro.cluster.controller import ClusterController
+from repro.cluster.coordinator import Coordinator
+from repro.storage.log import LogConfig
+from repro.messaging.broker import Broker
+from repro.messaging.offset_manager import OFFSETS_TOPIC, OffsetManager
+from repro.messaging.quotas import QuotaManager
+from repro.messaging.replication import ReplicationManager, ReplicationStats
+from repro.messaging.topic import CLEANUP_COMPACT, TopicConfig
+
+#: Valid ack modes.
+ACKS_NONE = "none"
+ACKS_LEADER = "leader"
+ACKS_ALL = "all"
+_ACK_MODES = (ACKS_NONE, ACKS_LEADER, ACKS_ALL)
+
+
+@dataclass
+class ProduceAck:
+    """Acknowledgment for a produced batch."""
+
+    partition: TopicPartition
+    base_offset: int
+    last_offset: int
+    latency: float
+    duplicate: bool = False
+
+
+@dataclass
+class FetchResult:
+    """Result of a consumer fetch.
+
+    Iterable as ``(records, latency)`` for call sites that predate
+    ``next_offset`` (which is where a sequential reader should continue —
+    it can exceed the last delivered record when markers or aborted
+    transactional records were skipped).
+    """
+
+    records: list[ConsumerRecord]
+    latency: float
+    next_offset: int
+
+    def __iter__(self):
+        yield self.records
+        yield self.latency
+
+
+class MessagingCluster:
+    """A cluster of brokers with replication and metadata-based access."""
+
+    def __init__(
+        self,
+        num_brokers: int = 3,
+        clock: Clock | None = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        page_cache_bytes: int = 256 * 1024 * 1024,
+        allow_unclean_election: bool = False,
+        replication_max_lag: int = 4,
+        maintenance_interval: float = 5.0,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if num_brokers <= 0:
+            raise ConfigError("num_brokers must be > 0")
+        self.clock = clock if clock is not None else SimClock()
+        self.cost_model = cost_model
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.coordinator = Coordinator(self.clock)
+        self.controller = ClusterController(
+            self.coordinator, allow_unclean_election=allow_unclean_election
+        )
+        self._brokers: dict[int, Broker] = {}
+        for broker_id in range(num_brokers):
+            broker = Broker(
+                broker_id,
+                self.clock,
+                cost_model,
+                page_cache_bytes=page_cache_bytes,
+                metrics=self.metrics,
+            )
+            self._brokers[broker_id] = broker
+            self.controller.register_broker(broker_id)
+        self.controller.on_leadership_change(self._apply_leadership)
+        self.controller.on_isr_change(self._apply_isr)
+        self._topics: dict[str, TopicConfig] = {}
+        self.replication = ReplicationManager(self, replication_max_lag)
+        self.offset_manager = OffsetManager(
+            self.clock, durable_append=self._append_offsets_record
+        )
+        self.quotas = QuotaManager(self.clock)
+        self.maintenance_interval = maintenance_interval
+        self._last_maintenance = self.clock.now()
+        self._create_offsets_topic(num_brokers)
+        # Group coordinator is attached lazily to avoid an import cycle.
+        self._group_coordinator = None
+
+    # -- internal topic ----------------------------------------------------------
+
+    def _create_offsets_topic(self, num_brokers: int) -> None:
+        self.create_topic(
+            TopicConfig(
+                name=OFFSETS_TOPIC,
+                num_partitions=1,
+                replication_factor=min(3, num_brokers),
+                cleanup_policy=CLEANUP_COMPACT,
+                log=LogConfig(segment_max_messages=1000),
+            )
+        )
+
+    def _append_offsets_record(self, key: Any, value: Any) -> None:
+        partition = TopicPartition(OFFSETS_TOPIC, 0)
+        self._produce_to(partition, [(key, value, self.clock.now(), {})], ACKS_LEADER)
+
+    def recover_offset_manager(self) -> int:
+        """Rebuild the offset manager from the internal compacted topic."""
+        partition = TopicPartition(OFFSETS_TOPIC, 0)
+        leader_id = self.controller.leader_for(partition)
+        if leader_id is None:
+            raise BrokerUnavailableError(f"{partition} is offline")
+        replica = self._brokers[leader_id].replica(partition)
+        records = [m.value for m in replica.log.all_messages()]
+        return self.offset_manager.recover_from_records(records)
+
+    # -- topic admin ------------------------------------------------------------------
+
+    def create_topic(self, config: TopicConfig | str, **kwargs: Any) -> TopicConfig:
+        """Create a topic from a :class:`TopicConfig` or name + kwargs."""
+        if isinstance(config, str):
+            config = TopicConfig(name=config, **kwargs)
+        elif kwargs:
+            raise ConfigError("pass either a TopicConfig or name + kwargs")
+        if config.name in self._topics:
+            raise TopicAlreadyExistsError(config.name)
+        live = sorted(self.controller.live_brokers())
+        if config.replication_factor > len(live):
+            raise ConfigError(
+                f"replication_factor {config.replication_factor} exceeds "
+                f"live brokers {len(live)}"
+            )
+        self._topics[config.name] = config
+        for p in range(config.num_partitions):
+            partition = TopicPartition(config.name, p)
+            replicas = [
+                live[(p + i) % len(live)] for i in range(config.replication_factor)
+            ]
+            for broker_id in replicas:
+                self._brokers[broker_id].host_partition(partition, config)
+            self.controller.create_partition(partition, replicas)
+        return config
+
+    def topic_config(self, topic: str) -> TopicConfig:
+        config = self._topics.get(topic)
+        if config is None:
+            raise TopicNotFoundError(topic)
+        return config
+
+    def topics(self) -> list[str]:
+        return sorted(self._topics)
+
+    def partitions_of(self, topic: str) -> list[TopicPartition]:
+        config = self.topic_config(topic)
+        return [TopicPartition(topic, p) for p in range(config.num_partitions)]
+
+    # -- leadership plumbing ----------------------------------------------------------
+
+    def _apply_leadership(
+        self,
+        partition: TopicPartition,
+        leader: int | None,
+        epoch: int,
+        isr: list[int],
+    ) -> None:
+        for broker in self._brokers.values():
+            if not broker.hosts(partition) or not broker.online:
+                continue
+            replica = broker.replica(partition)
+            if broker.broker_id == leader:
+                replica.become_leader(epoch, isr)
+            else:
+                replica.become_follower(epoch)
+
+    def _apply_isr(self, partition: TopicPartition, isr: list[int]) -> None:
+        leader = self.controller.leader_for(partition)
+        if leader is None:
+            return
+        broker = self._brokers.get(leader)
+        if broker is not None and broker.online and broker.hosts(partition):
+            broker.replica(partition).set_isr(isr)
+
+    # -- client paths ---------------------------------------------------------------------
+
+    def produce(
+        self,
+        topic: str,
+        partition: int,
+        entries: list[tuple[Any, Any, float | None, dict[str, Any]]],
+        acks: str = ACKS_LEADER,
+        producer_id: int | None = None,
+        producer_seq: int | None = None,
+        client_id: str | None = None,
+    ) -> ProduceAck:
+        """Produce a batch to one partition (low-level; see Producer).
+
+        ``client_id`` enables per-application byte-rate quotas (§4.5): a
+        client over its produce quota has the throttle delay added to its
+        ack latency.
+        """
+        tp = TopicPartition(topic, partition)
+        self.topic_config(topic)
+        stamped = [
+            (k, v, ts if ts is not None else self.clock.now(), h or {})
+            for (k, v, ts, h) in entries
+        ]
+        ack = self._produce_to(tp, stamped, acks, producer_id, producer_seq)
+        if client_id is not None:
+            batch_bytes = sum(
+                estimate_size(k) + estimate_size(v) + estimate_size(h)
+                for (k, v, _ts, h) in stamped
+            )
+            throttle = self.quotas.record_produce(client_id, batch_bytes)
+            if throttle:
+                ack.latency += throttle
+        return ack
+
+    def _produce_to(
+        self,
+        tp: TopicPartition,
+        entries: list[tuple[Any, Any, float, dict[str, Any]]],
+        acks: str,
+        producer_id: int | None = None,
+        producer_seq: int | None = None,
+    ) -> ProduceAck:
+        if acks not in _ACK_MODES:
+            raise ConfigError(f"unknown acks mode {acks!r}; expected {_ACK_MODES}")
+        config = self.topic_config(tp.topic)
+        state = self.controller.partition_state(tp)
+        if state.leader is None:
+            raise BrokerUnavailableError(f"{tp} is offline (no leader)")
+        leader_broker = self._brokers[state.leader]
+        batch_bytes = sum(
+            estimate_size(k) + estimate_size(v) + estimate_size(h)
+            for (k, v, _ts, h) in entries
+        )
+        if acks == ACKS_NONE:
+            latency = self.cost_model.network_oneway(batch_bytes)
+        else:
+            latency = self.cost_model.network_transfer(batch_bytes)
+        if acks == ACKS_ALL and len(state.isr) < config.min_insync_replicas:
+            raise NotEnoughReplicasError(
+                f"{tp}: ISR {state.isr} below min_insync_replicas="
+                f"{config.min_insync_replicas}"
+            )
+        result, broker_latency = leader_broker.produce(
+            tp, entries, state.epoch, producer_id, producer_seq
+        )
+        latency += broker_latency
+        if acks == ACKS_ALL and not result.duplicate:
+            latency += self._replicate_synchronously(tp, state, batch_bytes)
+        self.metrics.histogram(f"cluster.produce_latency.{acks}").observe(latency)
+        self.metrics.counter("cluster.messages_in").increment(len(entries))
+        return ProduceAck(
+            tp, result.base_offset, result.last_offset, latency, result.duplicate
+        )
+
+    def _replicate_synchronously(
+        self, tp: TopicPartition, state: Any, batch_bytes: int
+    ) -> float:
+        """acks=all: push the new records to every ISR follower and wait.
+
+        Followers replicate in parallel, so the added latency is the slowest
+        follower's (network + append), matching the paper's observation that
+        maximum durability waits for all acknowledgments.
+        """
+        leader_replica = self._brokers[state.leader].replica(tp)
+        slowest = 0.0
+        for follower_id in state.isr:
+            if follower_id == state.leader:
+                continue
+            follower_broker = self._brokers.get(follower_id)
+            if follower_broker is None or not follower_broker.online:
+                continue
+            follower_replica = follower_broker.replica(tp)
+            fetch_from = follower_replica.log_end_offset
+            pending = leader_replica.fetch(
+                fetch_from,
+                max_messages=1 << 30,
+                committed_only=False,
+            )
+            append_latency = follower_replica.replicate_batch(pending.messages)
+            leader_replica.record_follower_position(
+                follower_id, follower_replica.log_end_offset
+            )
+            follower_latency = (
+                self.cost_model.network_transfer(batch_bytes) + append_latency
+            )
+            slowest = max(slowest, follower_latency)
+        # Followers learn the advanced HW on their next fetch; push it now so
+        # a failover immediately after the ack exposes the committed data.
+        for follower_id in state.isr:
+            follower_broker = self._brokers.get(follower_id)
+            if (
+                follower_id != state.leader
+                and follower_broker is not None
+                and follower_broker.online
+            ):
+                follower_broker.replica(tp).update_high_watermark(
+                    leader_replica.high_watermark
+                )
+        return slowest
+
+    def fetch(
+        self,
+        topic: str,
+        partition: int,
+        offset: int,
+        max_messages: int = 100,
+        max_bytes: int | None = None,
+        isolation: str = "read_uncommitted",
+        client_id: str | None = None,
+    ) -> FetchResult:
+        """Fetch committed records from the partition leader.
+
+        ``isolation="read_committed"`` hides open/aborted transactions
+        (see :mod:`repro.messaging.transactions`).  ``client_id`` enables
+        per-application fetch quotas (§4.5).
+        """
+        tp = TopicPartition(topic, partition)
+        leader_id = self.controller.leader_for(tp)
+        if leader_id is None:
+            raise BrokerUnavailableError(f"{tp} is offline (no leader)")
+        broker = self._brokers[leader_id]
+        result, latency = broker.fetch(
+            tp, offset, max_messages, max_bytes, isolation=isolation
+        )
+        records = [
+            ConsumerRecord(
+                topic=topic,
+                partition=partition,
+                offset=m.offset,
+                key=m.key,
+                value=m.value,
+                timestamp=m.timestamp,
+                headers=m.headers,
+            )
+            for m in result.messages
+        ]
+        out_bytes = sum(m.size for m in result.messages)
+        latency += self.cost_model.network_transfer(out_bytes)
+        if client_id is not None:
+            latency += self.quotas.record_fetch(client_id, out_bytes)
+        self.metrics.histogram("cluster.fetch_latency").observe(latency)
+        self.metrics.counter("cluster.messages_out").increment(len(records))
+        return FetchResult(records, latency, result.next_offset)
+
+    # -- offset / metadata queries -----------------------------------------------------------
+
+    def leader_of(self, topic: str, partition: int) -> int | None:
+        return self.controller.leader_for(TopicPartition(topic, partition))
+
+    def beginning_offset(self, tp: TopicPartition) -> int:
+        return self._leader_replica(tp).log.log_start_offset
+
+    def end_offset(self, tp: TopicPartition) -> int:
+        """First offset a consumer cannot yet read (the high watermark)."""
+        return self._leader_replica(tp).high_watermark
+
+    def log_end_offset(self, tp: TopicPartition) -> int:
+        return self._leader_replica(tp).log_end_offset
+
+    def offset_for_timestamp(self, tp: TopicPartition, timestamp: float) -> int | None:
+        """Earliest offset with record timestamp >= ``timestamp`` (§3.1
+        metadata-based access)."""
+        return self._leader_replica(tp).log.offset_for_timestamp(timestamp)
+
+    def _leader_replica(self, tp: TopicPartition):
+        leader_id = self.controller.leader_for(tp)
+        if leader_id is None:
+            raise BrokerUnavailableError(f"{tp} is offline (no leader)")
+        return self._brokers[leader_id].replica(tp)
+
+    # -- cluster lifecycle / simulation driving -------------------------------------------------
+
+    def broker(self, broker_id: int) -> Broker:
+        broker = self._brokers.get(broker_id)
+        if broker is None:
+            raise ConfigError(f"unknown broker {broker_id}")
+        return broker
+
+    def brokers(self) -> list[Broker]:
+        return list(self._brokers.values())
+
+    def kill_broker(self, broker_id: int) -> None:
+        """Crash a broker: its session expires and leadership moves (§4.3)."""
+        broker = self.broker(broker_id)
+        if not broker.online:
+            return
+        broker.shutdown()
+        self.controller.broker_failed(broker_id)
+
+    def restart_broker(self, broker_id: int) -> None:
+        """Restart a crashed broker; it re-syncs before rejoining ISRs."""
+        broker = self.broker(broker_id)
+        if broker.online:
+            return
+        broker.startup()
+        self.controller.broker_recovered(broker_id)
+
+    def tick(self, dt: float = 0.1, replication_passes: int = 1) -> ReplicationStats:
+        """Advance simulated time and run background work.
+
+        Fires flush timers, runs the follower replication loop, and runs
+        retention/compaction sweeps every ``maintenance_interval`` seconds.
+        """
+        if isinstance(self.clock, SimClock):
+            self.clock.advance(dt)
+        stats = ReplicationStats()
+        for _ in range(replication_passes):
+            passed = self.replication.poll()
+            stats.messages_copied += passed.messages_copied
+            stats.partitions_synced += passed.partitions_synced
+            stats.isr_shrinks.extend(passed.isr_shrinks)
+            stats.isr_expansions.extend(passed.isr_expansions)
+            stats.truncations.extend(passed.truncations)
+        if self.clock.now() - self._last_maintenance >= self.maintenance_interval:
+            self._last_maintenance = self.clock.now()
+            for broker in self._brokers.values():
+                if broker.online:
+                    broker.run_retention()
+                    broker.run_compaction()
+        return stats
+
+    def run_until_replicated(self, max_passes: int = 100) -> int:
+        """Tick until every follower is caught up (tests); returns passes."""
+        for i in range(max_passes):
+            stats = self.tick()
+            if stats.messages_copied == 0:
+                return i + 1
+        return max_passes
+
+    # -- deployment statistics (E10) --------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """Deployment-shape statistics comparable to the paper's §5 numbers."""
+        live = self.controller.live_brokers()
+        partition_count = len(self.controller.partitions())
+        replica_count = sum(len(b.replicas()) for b in self._brokers.values())
+        stored_bytes = sum(
+            r.log.size_bytes for b in self._brokers.values() for r in b.replicas()
+        )
+        return {
+            "brokers": len(self._brokers),
+            "live_brokers": len(live),
+            "topics": len(self._topics),
+            "partitions": partition_count,
+            "replicas": replica_count,
+            "stored_bytes": stored_bytes,
+            "messages_in": self.metrics.counter("cluster.messages_in").value,
+            "messages_out": self.metrics.counter("cluster.messages_out").value,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MessagingCluster(brokers={len(self._brokers)}, "
+            f"topics={len(self._topics)})"
+        )

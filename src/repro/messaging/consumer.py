@@ -1,0 +1,271 @@
+"""Consumer client (§3.1).
+
+"Consumers pull data from brokers by providing a set of offsets.  After a
+pull request, brokers return the latest data after the specified offsets.
+This approach makes it efficient to maintain the latest consumed data, i.e.
+it requires only storing a single integer per partition."
+
+The consumer supports both manual partition assignment (:meth:`assign`) and
+group subscription (:meth:`subscribe`), positions seeded from committed
+offsets, time- and metadata-based rewind (the paper's rewindability
+property), and offset commits carrying annotations through the offset
+manager.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Literal
+
+from repro.common.errors import (
+    BrokerUnavailableError,
+    ConfigError,
+    NotLeaderForPartitionError,
+    OffsetOutOfRangeError,
+)
+from repro.common.records import ConsumerRecord, TopicPartition
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.consumer_group import GroupCoordinator
+
+AutoOffsetReset = Literal["earliest", "latest"]
+
+_consumer_ids = itertools.count(1)
+
+
+class Consumer:
+    """Pull-based consumer with optional group membership."""
+
+    def __init__(
+        self,
+        cluster: MessagingCluster,
+        group: str | None = None,
+        group_coordinator: GroupCoordinator | None = None,
+        auto_offset_reset: AutoOffsetReset = "earliest",
+        max_poll_messages: int = 100,
+        isolation_level: str = "read_uncommitted",
+        client_id: str | None = None,
+        key_serde: Any = None,
+        value_serde: Any = None,
+    ) -> None:
+        if auto_offset_reset not in ("earliest", "latest"):
+            raise ConfigError(
+                f"auto_offset_reset must be 'earliest' or 'latest', "
+                f"got {auto_offset_reset!r}"
+            )
+        if isolation_level not in ("read_uncommitted", "read_committed"):
+            raise ConfigError(
+                f"isolation_level must be 'read_uncommitted' or "
+                f"'read_committed', got {isolation_level!r}"
+            )
+        if group is not None and group_coordinator is None:
+            raise ConfigError("group subscription requires a group_coordinator")
+        self.cluster = cluster
+        self.group = group
+        self.group_coordinator = group_coordinator
+        self.auto_offset_reset = auto_offset_reset
+        self.max_poll_messages = max_poll_messages
+        self.isolation_level = isolation_level
+        self.client_id = client_id
+        self.key_serde = key_serde
+        self.value_serde = value_serde
+        self.member_id = f"consumer-{next(_consumer_ids)}"
+        self._assignment: list[TopicPartition] = []
+        self._positions: dict[TopicPartition, int] = {}
+        self._generation: int | None = None
+        self._subscribed_topics: set[str] = set()
+        self._rr = 0  # round-robin cursor over assigned partitions
+        self.last_poll_latency = 0.0
+        self.records_consumed = 0
+        self.closed = False
+
+    # -- assignment ------------------------------------------------------------------
+
+    def assign(self, partitions: list[TopicPartition]) -> None:
+        """Manually assign partitions (no group management)."""
+        if self.group is not None:
+            raise ConfigError("cannot mix manual assign with group subscribe")
+        self._assignment = list(partitions)
+        self._seed_positions()
+
+    def subscribe(self, topics: list[str] | set[str]) -> None:
+        """Join the consumer group for ``topics``; assignment is managed."""
+        if self.group is None or self.group_coordinator is None:
+            raise ConfigError("subscribe requires a group")
+        self._subscribed_topics = set(topics)
+        self._generation = self.group_coordinator.join(
+            self.group, self.member_id, self._subscribed_topics
+        )
+        self._refresh_assignment()
+
+    def _refresh_assignment(self) -> None:
+        assert self.group is not None and self.group_coordinator is not None
+        self._assignment = self.group_coordinator.assignment_for(
+            self.group, self.member_id
+        )
+        self._generation = self.group_coordinator.generation(self.group)
+        self._positions = {
+            tp: pos for tp, pos in self._positions.items() if tp in self._assignment
+        }
+        self._seed_positions()
+
+    def _seed_positions(self) -> None:
+        """Initialize positions: committed offset first, else reset policy."""
+        for tp in self._assignment:
+            if tp in self._positions:
+                continue
+            committed = None
+            if self.group is not None:
+                committed = self.cluster.offset_manager.fetch(self.group, tp)
+            if committed is not None:
+                self._positions[tp] = committed.offset
+            elif self.auto_offset_reset == "earliest":
+                self._positions[tp] = self.cluster.beginning_offset(tp)
+            else:
+                self._positions[tp] = self.cluster.end_offset(tp)
+
+    def assignment(self) -> list[TopicPartition]:
+        return list(self._assignment)
+
+    # -- poll loop -------------------------------------------------------------------
+
+    def poll(self, max_messages: int | None = None) -> list[ConsumerRecord]:
+        """Fetch the next batch across assigned partitions.
+
+        Partitions are serviced round-robin so one busy partition cannot
+        starve the others.  Detects group rebalances (generation change) and
+        refreshes the assignment before fetching.
+        """
+        if self.closed:
+            raise ConfigError("consumer is closed")
+        self._maybe_rejoin()
+        budget = max_messages if max_messages is not None else self.max_poll_messages
+        records: list[ConsumerRecord] = []
+        latency = 0.0
+        if not self._assignment:
+            self.last_poll_latency = 0.0
+            return records
+        n = len(self._assignment)
+        for i in range(n):
+            if budget <= 0:
+                break
+            tp = self._assignment[(self._rr + i) % n]
+            try:
+                result = self.cluster.fetch(
+                    tp.topic, tp.partition, self._positions[tp], budget,
+                    isolation=self.isolation_level,
+                    client_id=self.client_id,
+                )
+            except OffsetOutOfRangeError as exc:
+                self._positions[tp] = self._reset_position(tp, exc)
+                continue
+            except (BrokerUnavailableError, NotLeaderForPartitionError):
+                continue  # transient during failover; retry next poll
+            latency += result.latency
+            batch = result.records
+            if batch:
+                if self.key_serde is not None or self.value_serde is not None:
+                    batch = [self._deserialize(r) for r in batch]
+                records.extend(batch)
+                budget -= len(batch)
+            # Advance by the scan position, not the last delivered record:
+            # skipped markers/aborted records must not wedge the consumer.
+            self._positions[tp] = max(self._positions[tp], result.next_offset)
+        self._rr = (self._rr + 1) % n
+        self.last_poll_latency = latency
+        self.records_consumed += len(records)
+        return records
+
+    def _deserialize(self, record: ConsumerRecord) -> ConsumerRecord:
+        key = record.key
+        value = record.value
+        if self.key_serde is not None and key is not None:
+            key = self.key_serde.deserialize(key)
+        if self.value_serde is not None:
+            value = self.value_serde.deserialize(value)
+        return ConsumerRecord(
+            topic=record.topic,
+            partition=record.partition,
+            offset=record.offset,
+            key=key,
+            value=value,
+            timestamp=record.timestamp,
+            headers=record.headers,
+        )
+
+    def _maybe_rejoin(self) -> None:
+        if self.group is None or self.group_coordinator is None:
+            return
+        if not self._subscribed_topics:
+            return
+        current = self.group_coordinator.generation(self.group)
+        if current != self._generation:
+            self._refresh_assignment()
+
+    def _reset_position(self, tp: TopicPartition, exc: OffsetOutOfRangeError) -> int:
+        """Position fell off the retained log (retention won the race)."""
+        if self.auto_offset_reset == "earliest":
+            return self.cluster.beginning_offset(tp)
+        return self.cluster.end_offset(tp)
+
+    # -- seeking (rewindability, §3.1/§4.2) -----------------------------------------------
+
+    def seek(self, tp: TopicPartition, offset: int) -> None:
+        self._require_assigned(tp)
+        self._positions[tp] = offset
+
+    def seek_to_beginning(self, tp: TopicPartition) -> None:
+        self.seek(tp, self.cluster.beginning_offset(tp))
+
+    def seek_to_end(self, tp: TopicPartition) -> None:
+        self.seek(tp, self.cluster.end_offset(tp))
+
+    def seek_to_timestamp(self, tp: TopicPartition, timestamp: float) -> int:
+        """Rewind to the first record at/after ``timestamp``; returns the
+        offset (the log end if no such record exists)."""
+        offset = self.cluster.offset_for_timestamp(tp, timestamp)
+        if offset is None:
+            offset = self.cluster.end_offset(tp)
+        self.seek(tp, offset)
+        return offset
+
+    def position(self, tp: TopicPartition) -> int:
+        self._require_assigned(tp)
+        return self._positions[tp]
+
+    def _require_assigned(self, tp: TopicPartition) -> None:
+        if tp not in self._positions:
+            raise ConfigError(f"{tp} is not assigned to this consumer")
+
+    # -- commits -----------------------------------------------------------------------------
+
+    def commit(self, metadata: dict[str, Any] | None = None) -> None:
+        """Checkpoint current positions (with annotations) for the group."""
+        if self.group is None:
+            raise ConfigError("commit requires a group")
+        for tp in self._assignment:
+            self.cluster.offset_manager.commit(
+                self.group, tp, self._positions[tp], metadata
+            )
+
+    def committed(self, tp: TopicPartition) -> int | None:
+        if self.group is None:
+            return None
+        commit = self.cluster.offset_manager.fetch(self.group, tp)
+        return commit.offset if commit is not None else None
+
+    # -- lifecycle -----------------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Leave the group (triggering a rebalance) and stop consuming."""
+        if self.closed:
+            return
+        if self.group is not None and self.group_coordinator is not None:
+            if self._subscribed_topics:
+                self.group_coordinator.leave(self.group, self.member_id)
+        self.closed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Consumer({self.member_id}, group={self.group!r}, "
+            f"assigned={len(self._assignment)})"
+        )

@@ -1,0 +1,210 @@
+"""The offset manager: metadata-based data access (§3.1, §4.2).
+
+"The messaging layer uses a highly-available, logically-centralized offset
+manager to maintain annotations on the data, which can be queried by
+clients.  For example, consumers can checkpoint their last consumed offsets
+to save their progress; after failure, they can ask for the last data that
+they processed.  To re-process data, clients can include metadata, such as
+timestamps, with the offsets and retrieve data according to these
+previously-stored timestamps."
+
+Commits are durably written to an internal *compacted* topic
+(``__liquid_offsets``), mirroring Kafka's ``__consumer_offsets`` design: the
+latest commit per (group, partition) survives compaction, so recovery replays
+a log whose size is bounded by the number of live group-partitions rather
+than the number of commits ever made (E4's mechanism applied to the offset
+manager itself).
+
+An in-memory commit *history* additionally supports the paper's richer
+annotation queries — "the software version that consumed a given offset, or
+the timestamp at which data was read" — which power incremental processing
+(§4.2) and rewind-on-algorithm-change (§5.1 data cleaning).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.common.clock import Clock
+from repro.common.errors import ConfigError
+from repro.common.records import TopicPartition
+
+#: Name of the internal topic backing the offset manager.
+OFFSETS_TOPIC = "__liquid_offsets"
+
+
+@dataclass(frozen=True)
+class OffsetCommit:
+    """One checkpoint: group consumed ``partition`` up to ``offset``.
+
+    ``offset`` is the *next* offset to consume (Kafka convention).
+    ``metadata`` carries arbitrary annotations (software version, watermark
+    timestamps, job run ids, ...).
+    """
+
+    group: str
+    partition: TopicPartition
+    offset: int
+    committed_at: float
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+
+class OffsetManager:
+    """Checkpoint store with annotation queries.
+
+    ``durable_append`` is injected by the messaging cluster: it writes a
+    commit record to the internal compacted topic.  Tests can run the manager
+    standalone by leaving it unset.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        durable_append: Callable[[Any, Any], None] | None = None,
+        history_limit: int = 10_000,
+    ) -> None:
+        if history_limit <= 0:
+            raise ConfigError("history_limit must be > 0")
+        self.clock = clock
+        self._durable_append = durable_append
+        self._history_limit = history_limit
+        self._latest: dict[tuple[str, TopicPartition], OffsetCommit] = {}
+        self._history: dict[tuple[str, TopicPartition], list[OffsetCommit]] = {}
+
+    # -- commit / fetch ------------------------------------------------------------
+
+    def commit(
+        self,
+        group: str,
+        partition: TopicPartition,
+        offset: int,
+        metadata: dict[str, Any] | None = None,
+    ) -> OffsetCommit:
+        """Checkpoint ``group``'s position on ``partition``."""
+        if offset < 0:
+            raise ConfigError(f"offset must be >= 0, got {offset}")
+        commit = OffsetCommit(
+            group=group,
+            partition=partition,
+            offset=offset,
+            committed_at=self.clock.now(),
+            metadata=dict(metadata) if metadata else {},
+        )
+        key = (group, partition)
+        self._latest[key] = commit
+        history = self._history.setdefault(key, [])
+        history.append(commit)
+        if len(history) > self._history_limit:
+            del history[: len(history) - self._history_limit]
+        if self._durable_append is not None:
+            self._durable_append(
+                f"{group}:{partition}",
+                {
+                    "group": group,
+                    "topic": partition.topic,
+                    "partition": partition.partition,
+                    "offset": offset,
+                    "committed_at": commit.committed_at,
+                    "metadata": commit.metadata,
+                },
+            )
+        return commit
+
+    def fetch(self, group: str, partition: TopicPartition) -> OffsetCommit | None:
+        """Latest commit for (group, partition), or None if never committed."""
+        return self._latest.get((group, partition))
+
+    def fetch_group(self, group: str) -> dict[TopicPartition, OffsetCommit]:
+        """All latest commits of one group."""
+        return {
+            partition: commit
+            for (g, partition), commit in self._latest.items()
+            if g == group
+        }
+
+    # -- annotation queries (§4.2) --------------------------------------------------
+
+    def history(self, group: str, partition: TopicPartition) -> list[OffsetCommit]:
+        """Commit history, oldest first (bounded by ``history_limit``)."""
+        return list(self._history.get((group, partition), []))
+
+    def offset_at_time(
+        self, group: str, partition: TopicPartition, timestamp: float
+    ) -> OffsetCommit | None:
+        """Last commit made at or before ``timestamp``.
+
+        This answers "where was this consumer at time T?", the rewind
+        primitive used when a bad deploy must be rolled back to the data it
+        had processed before.
+        """
+        best: OffsetCommit | None = None
+        for commit in self._history.get((group, partition), []):
+            if commit.committed_at <= timestamp:
+                best = commit
+            else:
+                break
+        return best
+
+    def offset_for_annotation(
+        self,
+        group: str,
+        partition: TopicPartition,
+        key: str,
+        value: Any,
+    ) -> OffsetCommit | None:
+        """Last commit whose metadata has ``key == value``.
+
+        E.g. ``offset_for_annotation(g, tp, "software_version", "v1")``
+        returns where the v1 algorithm got to — the point from which the v2
+        re-processing job should rewind (§5.1 data cleaning use case).
+        """
+        for commit in reversed(self._history.get((group, partition), [])):
+            if commit.metadata.get(key) == value:
+                return commit
+        return None
+
+    def find(
+        self,
+        group: str,
+        partition: TopicPartition,
+        predicate: Callable[[OffsetCommit], bool],
+    ) -> OffsetCommit | None:
+        """Last commit matching an arbitrary predicate."""
+        for commit in reversed(self._history.get((group, partition), [])):
+            if predicate(commit):
+                return commit
+        return None
+
+    # -- recovery ----------------------------------------------------------------------
+
+    def recover_from_records(self, records: list[dict[str, Any]]) -> int:
+        """Rebuild the latest-commit map from the internal topic's records.
+
+        Called after an offset-manager restart; the topic is compacted so
+        this replays one record per live (group, partition).  History is not
+        recovered (it was compacted away) — a documented trade-off.
+        """
+        self._latest.clear()
+        self._history.clear()
+        count = 0
+        for record in records:
+            partition = TopicPartition(record["topic"], record["partition"])
+            commit = OffsetCommit(
+                group=record["group"],
+                partition=partition,
+                offset=record["offset"],
+                committed_at=record["committed_at"],
+                metadata=dict(record.get("metadata", {})),
+            )
+            key = (commit.group, partition)
+            self._latest[key] = commit
+            self._history.setdefault(key, []).append(commit)
+            count += 1
+        return count
+
+    def groups(self) -> set[str]:
+        return {group for (group, _tp) in self._latest}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"OffsetManager(entries={len(self._latest)})"

@@ -1,0 +1,338 @@
+"""Partition replicas: the broker-side unit of replication (§3.1, §4.3).
+
+Each broker hosts a :class:`PartitionReplica` per partition assigned to it.
+One replica is the *leader* (serves produces and fetches); the others are
+*followers* that copy the leader's log.  The leader tracks each follower's
+log-end offset (LEO) and advances the *high watermark* (HW) — the offset up
+to which data is replicated to every in-sync replica.  Consumers only see
+records below the HW, which is what makes an acknowledged ``acks=all`` write
+survive N-1 broker failures.
+
+Leader epochs fence zombies: every leadership change bumps the epoch, and
+requests carrying a stale epoch are rejected with
+:class:`~repro.common.errors.StaleEpochError`.
+
+Idempotent produce (the paper's "ongoing effort to ... implement support for
+exactly-once semantics") is supported via per-producer sequence numbers:
+a retry of an already-appended batch returns the original offsets instead of
+appending duplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import (
+    ConfigError,
+    NotLeaderForPartitionError,
+    StaleEpochError,
+)
+from repro.common.records import StoredMessage, TopicPartition
+from repro.storage.log import AppendResult, PartitionLog, ReadResult
+
+ROLE_LEADER = "leader"
+ROLE_FOLLOWER = "follower"
+ROLE_OFFLINE = "offline"
+
+
+@dataclass
+class ProduceResult:
+    """Offsets assigned to a produced batch plus storage latency."""
+
+    base_offset: int
+    last_offset: int
+    latency: float
+    duplicate: bool = False
+
+
+class PartitionReplica:
+    """One broker's copy of one partition."""
+
+    def __init__(
+        self,
+        partition: TopicPartition,
+        broker_id: int,
+        log: PartitionLog,
+    ) -> None:
+        self.partition = partition
+        self.broker_id = broker_id
+        self.log = log
+        self.role = ROLE_FOLLOWER
+        self.leader_epoch = 0
+        self.high_watermark = 0
+        # Leader-only state: follower LEOs and current ISR membership.
+        self._follower_leo: dict[int, int] = {}
+        self._isr: list[int] = []
+        # Idempotent-producer dedup: (producer_id, seq) -> ProduceResult.
+        self._producer_seqs: dict[int, int] = {}
+        self._producer_results: dict[tuple[int, int], ProduceResult] = {}
+        # Transaction bookkeeping (read_committed isolation):
+        # open transactions (pid -> first offset) and aborted offset sets.
+        self._open_txns: dict[int, int] = {}
+        self._aborted_offsets: set[int] = set()
+        self._txn_record_offsets: dict[int, list[int]] = {}
+
+    # -- role transitions ---------------------------------------------------------
+
+    def become_leader(self, epoch: int, isr: list[int]) -> None:
+        """Promote this replica to leader for ``epoch``.
+
+        The new leader's HW starts at its own previous HW and advances as the
+        (possibly singleton) ISR confirms.  If this replica is the only ISR
+        member, everything in its log is immediately committed.
+        """
+        if epoch <= self.leader_epoch and self.role == ROLE_LEADER:
+            raise StaleEpochError(
+                f"{self.partition}: epoch {epoch} <= current {self.leader_epoch}"
+            )
+        self.role = ROLE_LEADER
+        self.leader_epoch = epoch
+        self._isr = list(isr)
+        self._follower_leo = {b: 0 for b in isr if b != self.broker_id}
+        self._advance_high_watermark()
+
+    def become_follower(self, epoch: int) -> None:
+        """Demote to follower under a new leader epoch."""
+        self.role = ROLE_FOLLOWER
+        self.leader_epoch = epoch
+        self._follower_leo.clear()
+        self._isr = []
+
+    def mark_offline(self) -> None:
+        self.role = ROLE_OFFLINE
+
+    # -- leader produce path ----------------------------------------------------------
+
+    def append_batch(
+        self,
+        entries: list[tuple[Any, Any, float, dict[str, Any]]],
+        epoch: int | None = None,
+        producer_id: int | None = None,
+        producer_seq: int | None = None,
+    ) -> ProduceResult:
+        """Leader-side append of a batch of (key, value, timestamp, headers).
+
+        With ``producer_id``/``producer_seq`` set, a replayed batch (same or
+        lower sequence) is deduplicated and the original offsets returned —
+        the idempotent-producer upgrade from at-least-once.
+        """
+        self._check_leader(epoch)
+        if not entries:
+            raise ConfigError("append_batch requires at least one entry")
+        if producer_id is not None and producer_seq is not None:
+            last_seq = self._producer_seqs.get(producer_id, -1)
+            if producer_seq <= last_seq:
+                cached = self._producer_results.get((producer_id, producer_seq))
+                if cached is not None:
+                    return ProduceResult(
+                        cached.base_offset, cached.last_offset, 0.0, duplicate=True
+                    )
+                # Sequence seen but result evicted: still refuse to re-append.
+                raise ConfigError(
+                    f"producer {producer_id} replayed seq {producer_seq} "
+                    "with no cached result"
+                )
+        latency = 0.0
+        base_offset: int | None = None
+        last: AppendResult | None = None
+        for key, value, timestamp, headers in entries:
+            if producer_id is not None and producer_seq is not None:
+                # Producer state travels inside the log (as in Kafka batch
+                # headers) so a newly elected leader can keep deduplicating.
+                headers = {**headers, "__pid": producer_id, "__seq": producer_seq}
+            last = self.log.append(key, value, timestamp, headers)
+            self._track_transaction(headers, last.offset)
+            if base_offset is None:
+                base_offset = last.offset
+            latency += last.latency
+        assert base_offset is not None and last is not None
+        result = ProduceResult(base_offset, last.offset, latency)
+        if producer_id is not None and producer_seq is not None:
+            self._producer_seqs[producer_id] = producer_seq
+            self._producer_results[(producer_id, producer_seq)] = result
+        if self._only_isr_member():
+            self._advance_high_watermark()
+        return result
+
+    def _only_isr_member(self) -> bool:
+        return self.role == ROLE_LEADER and set(self._isr) <= {self.broker_id}
+
+    def _check_leader(self, epoch: int | None) -> None:
+        if self.role != ROLE_LEADER:
+            raise NotLeaderForPartitionError(
+                f"broker {self.broker_id} is {self.role} for {self.partition}"
+            )
+        if epoch is not None and epoch != self.leader_epoch:
+            raise StaleEpochError(
+                f"{self.partition}: request epoch {epoch} != leader epoch "
+                f"{self.leader_epoch}"
+            )
+
+    # -- fetch paths -----------------------------------------------------------------
+
+    def fetch(
+        self,
+        offset: int,
+        max_messages: int = 100,
+        max_bytes: int | None = None,
+        committed_only: bool = True,
+        isolation: str = "read_uncommitted",
+    ) -> ReadResult:
+        """Read records starting at ``offset``.
+
+        Consumers use ``committed_only=True`` (bounded by the HW); follower
+        replication uses ``committed_only=False`` to copy the uncommitted
+        tail, including transaction markers.  ``isolation="read_committed"``
+        additionally bounds the read by the last stable offset, hides
+        aborted transactional records, and hides control markers.
+        """
+        result = self.log.read(offset, max_messages, max_bytes)
+        if not committed_only:
+            return result
+        bound = self.high_watermark
+        if isolation == "read_committed":
+            bound = min(bound, self.last_stable_offset)
+        visible = []
+        for message in result.messages:
+            if message.offset >= bound:
+                break
+            if "__ctrl" in message.headers:
+                continue  # control markers are never client-visible
+            if (
+                isolation == "read_committed"
+                and message.offset in self._aborted_offsets
+            ):
+                continue
+            visible.append(message)
+        next_offset = min(result.next_offset, bound)
+        next_offset = max(next_offset, offset)
+        return ReadResult(
+            visible, result.latency, result.log_end_offset, next_offset
+        )
+
+    # -- replication bookkeeping ---------------------------------------------------------
+
+    def replicate_batch(self, messages: list[StoredMessage]) -> float:
+        """Follower-side append of records copied from the leader."""
+        if self.role == ROLE_LEADER:
+            raise ConfigError(f"{self.partition}: leader cannot replicate from itself")
+        latency = 0.0
+        for message in messages:
+            copy = StoredMessage(
+                key=message.key,
+                value=message.value,
+                timestamp=message.timestamp,
+                offset=message.offset,
+                headers=dict(message.headers),
+                size=message.size,
+            )
+            latency += self.log.append_stored(copy).latency
+            self._absorb_producer_state(copy)
+        return latency
+
+    def _track_transaction(self, headers: dict[str, Any], offset: int) -> None:
+        """Maintain open-transaction and aborted-range state (read_committed).
+
+        Called for every appended record, leader- or replication-side, so
+        transaction visibility survives failover like everything else in the
+        log does.
+        """
+        producer_id = headers.get("__pid")
+        if producer_id is None:
+            return
+        verdict = headers.get("__ctrl")
+        if verdict is not None:
+            self._open_txns.pop(producer_id, None)
+            offsets = self._txn_record_offsets.pop(producer_id, [])
+            if verdict == "abort":
+                self._aborted_offsets.update(offsets)
+            return
+        if headers.get("__txn"):
+            self._open_txns.setdefault(producer_id, offset)
+            self._txn_record_offsets.setdefault(producer_id, []).append(offset)
+
+    @property
+    def last_stable_offset(self) -> int:
+        """First offset of the earliest open transaction, capped by the HW.
+
+        read_committed consumers never read past it, so they observe
+        transactions atomically and in order.
+        """
+        lso = self.high_watermark
+        for first_offset in self._open_txns.values():
+            lso = min(lso, first_offset)
+        return lso
+
+    def _absorb_producer_state(self, message: StoredMessage) -> None:
+        """Rebuild idempotent-producer dedup state from replicated records,
+        so this replica can keep deduplicating if it becomes leader."""
+        self._track_transaction(message.headers, message.offset)
+        producer_id = message.headers.get("__pid")
+        producer_seq = message.headers.get("__seq")
+        if producer_id is None or producer_seq is None:
+            return
+        if producer_seq > self._producer_seqs.get(producer_id, -1):
+            self._producer_seqs[producer_id] = producer_seq
+        cached = self._producer_results.get((producer_id, producer_seq))
+        if cached is None:
+            self._producer_results[(producer_id, producer_seq)] = ProduceResult(
+                message.offset, message.offset, 0.0
+            )
+        else:
+            cached.last_offset = max(cached.last_offset, message.offset)
+
+    def record_follower_position(self, follower_id: int, leo: int) -> int:
+        """Leader records a follower's LEO after a replica fetch; returns the
+        (possibly advanced) high watermark."""
+        self._check_leader(None)
+        self._follower_leo[follower_id] = leo
+        self._advance_high_watermark()
+        return self.high_watermark
+
+    def set_isr(self, isr: list[int]) -> None:
+        """Controller pushed a new ISR; HW only depends on in-sync members."""
+        if self.role == ROLE_LEADER:
+            self._isr = list(isr)
+            self._advance_high_watermark()
+
+    def update_high_watermark(self, hw: int) -> None:
+        """Follower learns the leader's HW (piggybacked on fetch responses)."""
+        if hw > self.high_watermark:
+            self.high_watermark = min(hw, self.log.log_end_offset)
+
+    def _advance_high_watermark(self) -> None:
+        if self.role != ROLE_LEADER:
+            return
+        leos = [self.log.log_end_offset]
+        for broker_id in self._isr:
+            if broker_id == self.broker_id:
+                continue
+            leos.append(self._follower_leo.get(broker_id, 0))
+        new_hw = min(leos)
+        if new_hw > self.high_watermark:
+            self.high_watermark = new_hw
+
+    def truncate_to(self, offset: int) -> int:
+        """Follower reconciliation: drop any log tail past the leader's."""
+        removed = self.log.truncate_to(offset)
+        self.high_watermark = min(self.high_watermark, offset)
+        return removed
+
+    # -- introspection ----------------------------------------------------------------------
+
+    @property
+    def log_end_offset(self) -> int:
+        return self.log.log_end_offset
+
+    def follower_lag(self, follower_id: int) -> int:
+        """Messages the follower is behind the leader."""
+        self._check_leader(None)
+        return self.log.log_end_offset - self._follower_leo.get(follower_id, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PartitionReplica({self.partition}, broker={self.broker_id}, "
+            f"{self.role}, epoch={self.leader_epoch}, "
+            f"leo={self.log_end_offset}, hw={self.high_watermark})"
+        )

@@ -1,0 +1,194 @@
+"""Producer client (§3.1).
+
+"Clients of the messaging layer are called producers and publish data to
+different topics ... Producers can choose to which partition to publish data
+in a round-robin fashion or according to a hash function for load-balancing
+or semantic routing."
+
+The producer adds the client-side behaviours the brokers don't provide:
+partition selection, optional batching (``linger_messages``), bounded
+retries on leadership changes (at-least-once delivery), and the optional
+idempotent mode that upgrades retries to exactly-once per partition.
+"""
+
+from __future__ import annotations
+
+import itertools
+import zlib
+from typing import Any, Callable
+
+from repro.common.errors import (
+    BrokerUnavailableError,
+    ConfigError,
+    MessagingError,
+    NotLeaderForPartitionError,
+    StaleEpochError,
+)
+from repro.common.records import ProducerRecord, TopicPartition
+from repro.messaging.cluster import ACKS_LEADER, MessagingCluster, ProduceAck
+
+#: Partitioner strategies.
+PARTITIONER_HASH = "hash"
+PARTITIONER_ROUND_ROBIN = "round_robin"
+
+_producer_ids = itertools.count(1)
+
+
+def _stable_hash(key: Any) -> int:
+    """Deterministic key hash (Python's ``hash`` is salted per process)."""
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+class Producer:
+    """Publishes records to topics with partitioning, batching and retries."""
+
+    def __init__(
+        self,
+        cluster: MessagingCluster,
+        acks: str = ACKS_LEADER,
+        partitioner: str | Callable[[Any, int], int] = PARTITIONER_HASH,
+        linger_messages: int = 1,
+        max_retries: int = 3,
+        idempotent: bool = False,
+        client_id: str | None = None,
+        key_serde: Any = None,
+        value_serde: Any = None,
+    ) -> None:
+        if linger_messages < 1:
+            raise ConfigError("linger_messages must be >= 1")
+        if max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if isinstance(partitioner, str) and partitioner not in (
+            PARTITIONER_HASH,
+            PARTITIONER_ROUND_ROBIN,
+        ):
+            raise ConfigError(f"unknown partitioner {partitioner!r}")
+        self.cluster = cluster
+        self.acks = acks
+        self.partitioner = partitioner
+        self.linger_messages = linger_messages
+        self.max_retries = max_retries
+        self.idempotent = idempotent
+        self.client_id = client_id
+        # Optional typed boundary: values/keys are serialized on the way in
+        # (see repro.common.serde; pass e.g. JsonSerde() or a name like
+        # "json" resolved via serde_by_name at the call site).
+        self.key_serde = key_serde
+        self.value_serde = value_serde
+        self.producer_id = next(_producer_ids)
+        self._round_robin: dict[str, itertools.count] = {}
+        self._sequences: dict[TopicPartition, int] = {}
+        self._buffers: dict[TopicPartition, list[tuple[Any, Any, float | None, dict[str, Any]]]] = {}
+        self.acks_received = 0
+        self.retries = 0
+
+    # -- partition selection ------------------------------------------------------
+
+    def _choose_partition(self, record: ProducerRecord) -> int:
+        num_partitions = len(self.cluster.partitions_of(record.topic))
+        if record.partition is not None:
+            if not 0 <= record.partition < num_partitions:
+                raise ConfigError(
+                    f"partition {record.partition} out of range for "
+                    f"{record.topic} ({num_partitions} partitions)"
+                )
+            return record.partition
+        if callable(self.partitioner):
+            return self.partitioner(record.key, num_partitions) % num_partitions
+        if self.partitioner == PARTITIONER_HASH and record.key is not None:
+            return _stable_hash(record.key) % num_partitions
+        counter = self._round_robin.setdefault(record.topic, itertools.count())
+        return next(counter) % num_partitions
+
+    # -- send path ----------------------------------------------------------------
+
+    def send(
+        self,
+        topic: str,
+        value: Any,
+        key: Any = None,
+        partition: int | None = None,
+        timestamp: float | None = None,
+        headers: dict[str, Any] | None = None,
+    ) -> ProduceAck | None:
+        """Publish one record.
+
+        With ``linger_messages == 1`` the record is sent immediately and its
+        ack returned.  With batching enabled the record is buffered and
+        ``None`` returned; the batch is sent when it reaches
+        ``linger_messages`` records (or on :meth:`flush`).
+        """
+        if self.value_serde is not None:
+            value = self.value_serde.serialize(value)
+        if self.key_serde is not None and key is not None:
+            key = self.key_serde.serialize(key)
+        record = ProducerRecord(
+            topic=topic,
+            value=value,
+            key=key,
+            partition=partition,
+            timestamp=timestamp,
+            headers=headers if headers is not None else {},
+        )
+        tp = TopicPartition(topic, self._choose_partition(record))
+        entry = (record.key, record.value, record.timestamp, record.headers)
+        if self.linger_messages == 1:
+            return self._send_batch(tp, [entry])
+        buffer = self._buffers.setdefault(tp, [])
+        buffer.append(entry)
+        if len(buffer) >= self.linger_messages:
+            del self._buffers[tp]
+            return self._send_batch(tp, buffer)
+        return None
+
+    def flush(self) -> list[ProduceAck]:
+        """Send all buffered batches; returns their acks."""
+        acks = []
+        buffers, self._buffers = self._buffers, {}
+        for tp, entries in buffers.items():
+            acks.append(self._send_batch(tp, entries))
+        return acks
+
+    def _send_batch(
+        self,
+        tp: TopicPartition,
+        entries: list[tuple[Any, Any, float | None, dict[str, Any]]],
+    ) -> ProduceAck:
+        producer_id = self.producer_id if self.idempotent else None
+        producer_seq: int | None = None
+        if self.idempotent:
+            producer_seq = self._sequences.get(tp, -1) + 1
+        attempts = 0
+        while True:
+            try:
+                ack = self.cluster.produce(
+                    tp.topic,
+                    tp.partition,
+                    entries,
+                    acks=self.acks,
+                    producer_id=producer_id,
+                    producer_seq=producer_seq,
+                    client_id=self.client_id,
+                )
+                if self.idempotent:
+                    self._sequences[tp] = producer_seq  # type: ignore[assignment]
+                self.acks_received += 1
+                return ack
+            except (
+                NotLeaderForPartitionError,
+                BrokerUnavailableError,
+                StaleEpochError,
+            ) as exc:
+                attempts += 1
+                self.retries += 1
+                if attempts > self.max_retries:
+                    raise MessagingError(
+                        f"produce to {tp} failed after {attempts} attempts"
+                    ) from exc
+                # Metadata refresh is implicit: the controller is the
+                # authoritative source consulted on the next attempt.
+                self.cluster.tick(0.0)
+
+    def pending(self) -> int:
+        """Records buffered but not yet sent."""
+        return sum(len(b) for b in self._buffers.values())

@@ -1,0 +1,148 @@
+"""Follower replication loop and ISR maintenance (§4.3).
+
+"A follower broker acts as a normal consumer, reading data from its lead
+broker and appending it to its local log.  This means that the followers for
+a given partition may not have incorporated all data from the lead broker
+when it fails."
+
+The :class:`ReplicationManager` is driven from the cluster tick: each pass,
+every follower replica fetches from its leader, reconciles divergent tails
+(truncation after leader changes), and the controller's ISR is shrunk or
+re-expanded based on observed lag — the "configurable minimum up-to-date
+threshold" the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    BrokerUnavailableError,
+    ConfigError,
+    NotLeaderForPartitionError,
+    OffsetOutOfRangeError,
+)
+from repro.common.records import TopicPartition
+
+
+@dataclass
+class ReplicationStats:
+    """Outcome of one replication pass."""
+
+    messages_copied: int = 0
+    partitions_synced: int = 0
+    isr_shrinks: list[tuple[TopicPartition, int]] = field(default_factory=list)
+    isr_expansions: list[tuple[TopicPartition, int]] = field(default_factory=list)
+    truncations: list[tuple[TopicPartition, int, int]] = field(default_factory=list)
+
+
+class ReplicationManager:
+    """Copies data from leaders to followers and maintains the ISR.
+
+    ``max_lag_messages`` is the in-sync threshold: a follower further behind
+    than this after a pass is dropped from the ISR; a follower fully caught
+    up is re-admitted.  ``max_fetch`` bounds per-pass copying so catch-up
+    bandwidth is finite, as on real networks.
+    """
+
+    def __init__(
+        self,
+        cluster: "MessagingCluster",  # noqa: F821 - forward ref, avoids cycle
+        max_lag_messages: int = 4,
+        max_fetch: int = 5000,
+    ) -> None:
+        if max_lag_messages < 0:
+            raise ConfigError("max_lag_messages must be >= 0")
+        if max_fetch <= 0:
+            raise ConfigError("max_fetch must be > 0")
+        self.cluster = cluster
+        self.max_lag_messages = max_lag_messages
+        self.max_fetch = max_fetch
+
+    def poll(self) -> ReplicationStats:
+        """Run one replication pass over all partitions."""
+        stats = ReplicationStats()
+        controller = self.cluster.controller
+        for partition in controller.partitions():
+            state = controller.partition_state(partition)
+            if state.leader is None:
+                continue
+            leader_broker = self.cluster.broker(state.leader)
+            if not leader_broker.online:
+                continue
+            for follower_id in state.replicas:
+                if follower_id == state.leader:
+                    continue
+                follower_broker = self.cluster.broker(follower_id)
+                if not follower_broker.online:
+                    continue
+                self._sync_follower(
+                    partition, state.leader, follower_id, stats
+                )
+        return stats
+
+    def _sync_follower(
+        self,
+        partition: TopicPartition,
+        leader_id: int,
+        follower_id: int,
+        stats: ReplicationStats,
+    ) -> None:
+        controller = self.cluster.controller
+        leader_broker = self.cluster.broker(leader_id)
+        follower_broker = self.cluster.broker(follower_id)
+        leader_replica = leader_broker.replica(partition)
+        follower_replica = follower_broker.replica(partition)
+
+        # Epoch reconciliation: a follower that lived through a leadership
+        # change (e.g. a deposed leader) may hold an un-replicated tail the
+        # new leader never had — possibly in the SAME offset range as the new
+        # leader's fresh writes.  Anything above the follower's own high
+        # watermark was never committed, so it is discarded before catch-up
+        # (pre-KIP-101 Kafka truncate-to-HW semantics).
+        if follower_replica.leader_epoch < leader_replica.leader_epoch:
+            safe_point = min(
+                follower_replica.high_watermark, leader_replica.log_end_offset
+            )
+            removed = follower_replica.truncate_to(safe_point)
+            if removed:
+                stats.truncations.append((partition, follower_id, removed))
+            follower_replica.become_follower(leader_replica.leader_epoch)
+        elif follower_replica.log_end_offset > leader_replica.log_end_offset:
+            removed = follower_replica.truncate_to(leader_replica.log_end_offset)
+            if removed:
+                stats.truncations.append((partition, follower_id, removed))
+
+        fetch_offset = follower_replica.log_end_offset
+        try:
+            messages, leader_leo, leader_hw = leader_broker.replica_fetch(
+                partition, fetch_offset, follower_id, self.max_fetch
+            )
+        except (
+            BrokerUnavailableError,
+            NotLeaderForPartitionError,
+            OffsetOutOfRangeError,
+        ):
+            return
+        if messages:
+            follower_replica.replicate_batch(messages)
+            stats.messages_copied += len(messages)
+            # Report the new position so the leader can advance the HW
+            # without waiting for the next pass.
+            leader_hw = leader_replica.record_follower_position(
+                follower_id, follower_replica.log_end_offset
+            )
+        follower_replica.update_high_watermark(leader_hw)
+        stats.partitions_synced += 1
+
+        # ISR maintenance against the post-fetch lag.
+        lag = leader_replica.log_end_offset - follower_replica.log_end_offset
+        isr = controller.isr_for(partition)
+        if lag > self.max_lag_messages and follower_id in isr:
+            new_isr = controller.shrink_isr(partition, follower_id)
+            leader_replica.set_isr(new_isr)
+            stats.isr_shrinks.append((partition, follower_id))
+        elif lag == 0 and follower_id not in isr:
+            new_isr = controller.expand_isr(partition, follower_id)
+            leader_replica.set_isr(new_isr)
+            stats.isr_expansions.append((partition, follower_id))

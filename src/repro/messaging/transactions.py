@@ -1,0 +1,269 @@
+"""Exactly-once transactions: the paper's "ongoing effort" (§4.3).
+
+"There is no built-in support to detect duplicates that can occur after a
+failure ... there is an ongoing effort to design and implement support for
+exactly-once semantics."
+
+This module implements that effort, following the design Kafka eventually
+shipped (KIP-98), reduced to its semantics:
+
+* a **transaction coordinator** maps a stable ``transactional_id`` to a
+  producer id and an epoch; re-initialization bumps the epoch and *fences*
+  the previous incarnation (:class:`~repro.common.errors.ProducerFencedError`);
+* a :class:`TransactionalProducer` groups sends into atomic units:
+  ``begin() … commit()/abort()`` writes **control markers** into every
+  partition the transaction touched;
+* partitions track open transactions and aborted ranges, exposing the
+  **last stable offset** (LSO): ``read_committed`` consumers never see
+  records of an open or aborted transaction, nor records past the first
+  still-open transaction (preserving order);
+* **offsets can join the transaction** (`send_offsets_to_transaction`), so a
+  consume-transform-produce loop commits its input position atomically with
+  its output — the full exactly-once processing pattern.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import (
+    ConfigError,
+    ProducerFencedError,
+    TransactionError,
+)
+from repro.common.records import TopicPartition
+from repro.messaging.cluster import ACKS_ALL, MessagingCluster
+
+#: Header keys for transactional records and control markers.
+HDR_PID = "__pid"
+HDR_TXN = "__txn"
+HDR_CTRL = "__ctrl"
+CTRL_COMMIT = "commit"
+CTRL_ABORT = "abort"
+
+_txn_producer_ids = itertools.count(1000)
+
+
+@dataclass
+class _TxnState:
+    """Coordinator-side state of one transactional id."""
+
+    producer_id: int
+    epoch: int = 0
+    in_flight: set[TopicPartition] = field(default_factory=set)
+    open: bool = False
+    pending_offsets: dict[tuple[str, TopicPartition], tuple[int, dict]] = field(
+        default_factory=dict
+    )
+
+
+class TransactionCoordinator:
+    """Maps transactional ids to fenced producer incarnations."""
+
+    def __init__(self, cluster: MessagingCluster) -> None:
+        self.cluster = cluster
+        self._states: dict[str, _TxnState] = {}
+        self.fencings = 0
+
+    def initialize(self, transactional_id: str) -> tuple[int, int]:
+        """Register/refresh a transactional id; returns (producer_id, epoch).
+
+        Bumping the epoch fences any previous producer instance with the
+        same id — its subsequent operations raise ProducerFencedError.
+        """
+        state = self._states.get(transactional_id)
+        if state is None:
+            state = _TxnState(producer_id=next(_txn_producer_ids))
+            self._states[transactional_id] = state
+        else:
+            state.epoch += 1
+            self.fencings += 1
+            # An incomplete transaction of the fenced incarnation aborts.
+            if state.open:
+                self._write_markers(state, CTRL_ABORT)
+                state.open = False
+                state.in_flight.clear()
+                state.pending_offsets.clear()
+        return state.producer_id, state.epoch
+
+    def _state_for(self, transactional_id: str, epoch: int) -> _TxnState:
+        state = self._states.get(transactional_id)
+        if state is None:
+            raise TransactionError(f"unknown transactional id {transactional_id!r}")
+        if epoch != state.epoch:
+            raise ProducerFencedError(
+                f"{transactional_id!r}: epoch {epoch} fenced by {state.epoch}"
+            )
+        return state
+
+    # -- transaction lifecycle ----------------------------------------------------
+
+    def begin(self, transactional_id: str, epoch: int) -> None:
+        state = self._state_for(transactional_id, epoch)
+        if state.open:
+            raise TransactionError(f"{transactional_id!r}: transaction already open")
+        state.open = True
+
+    def add_partition(
+        self, transactional_id: str, epoch: int, tp: TopicPartition
+    ) -> None:
+        state = self._state_for(transactional_id, epoch)
+        if not state.open:
+            raise TransactionError(f"{transactional_id!r}: no open transaction")
+        state.in_flight.add(tp)
+
+    def add_offsets(
+        self,
+        transactional_id: str,
+        epoch: int,
+        group: str,
+        offsets: dict[TopicPartition, int],
+        metadata: dict[str, Any] | None = None,
+    ) -> None:
+        state = self._state_for(transactional_id, epoch)
+        if not state.open:
+            raise TransactionError(f"{transactional_id!r}: no open transaction")
+        for tp, offset in offsets.items():
+            state.pending_offsets[(group, tp)] = (offset, dict(metadata or {}))
+
+    def commit(self, transactional_id: str, epoch: int) -> None:
+        state = self._state_for(transactional_id, epoch)
+        if not state.open:
+            raise TransactionError(f"{transactional_id!r}: no open transaction")
+        self._write_markers(state, CTRL_COMMIT)
+        for (group, tp), (offset, metadata) in state.pending_offsets.items():
+            self.cluster.offset_manager.commit(group, tp, offset, metadata)
+        state.pending_offsets.clear()
+        state.in_flight.clear()
+        state.open = False
+
+    def abort(self, transactional_id: str, epoch: int) -> None:
+        state = self._state_for(transactional_id, epoch)
+        if not state.open:
+            raise TransactionError(f"{transactional_id!r}: no open transaction")
+        self._write_markers(state, CTRL_ABORT)
+        state.pending_offsets.clear()
+        state.in_flight.clear()
+        state.open = False
+
+    def _write_markers(self, state: _TxnState, verdict: str) -> None:
+        for tp in state.in_flight:
+            self.cluster.produce(
+                tp.topic,
+                tp.partition,
+                [(
+                    None,
+                    None,
+                    None,
+                    {HDR_CTRL: verdict, HDR_PID: state.producer_id},
+                )],
+                acks=ACKS_ALL,
+            )
+
+    def is_open(self, transactional_id: str) -> bool:
+        state = self._states.get(transactional_id)
+        return bool(state and state.open)
+
+
+class TransactionalProducer:
+    """Producer whose sends are atomic per transaction.
+
+    Usage::
+
+        producer = TransactionalProducer(cluster, "etl-job-7")
+        producer.begin()
+        producer.send("out", value, key=key)
+        producer.send_offsets_to_transaction("job-etl", {tp: offset})
+        producer.commit()   # or .abort()
+    """
+
+    def __init__(
+        self,
+        cluster: MessagingCluster,
+        transactional_id: str,
+        coordinator: TransactionCoordinator | None = None,
+    ) -> None:
+        if not transactional_id:
+            raise ConfigError("transactional_id must be non-empty")
+        self.cluster = cluster
+        self.transactional_id = transactional_id
+        self.coordinator = (
+            coordinator
+            if coordinator is not None
+            else get_transaction_coordinator(cluster)
+        )
+        self.producer_id, self.epoch = self.coordinator.initialize(
+            transactional_id
+        )
+        self._sequence = 0
+        self._rr = itertools.count()
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def begin(self) -> None:
+        self.coordinator.begin(self.transactional_id, self.epoch)
+
+    def commit(self) -> None:
+        self.coordinator.commit(self.transactional_id, self.epoch)
+
+    def abort(self) -> None:
+        self.coordinator.abort(self.transactional_id, self.epoch)
+
+    # -- sends ----------------------------------------------------------------------
+
+    def send(
+        self,
+        topic: str,
+        value: Any,
+        key: Any = None,
+        partition: int | None = None,
+        timestamp: float | None = None,
+        headers: dict[str, Any] | None = None,
+    ):
+        """Send one record inside the current transaction (acks=all)."""
+        if not self.coordinator.is_open(self.transactional_id):
+            raise TransactionError("send outside a transaction; call begin()")
+        num_partitions = len(self.cluster.partitions_of(topic))
+        if partition is None:
+            if key is not None:
+                import zlib
+
+                partition = zlib.crc32(repr(key).encode()) % num_partitions
+            else:
+                partition = next(self._rr) % num_partitions
+        tp = TopicPartition(topic, partition)
+        self.coordinator.add_partition(self.transactional_id, self.epoch, tp)
+        txn_headers = {
+            **(headers or {}),
+            HDR_PID: self.producer_id,
+            HDR_TXN: True,
+        }
+        self._sequence += 1
+        return self.cluster.produce(
+            topic,
+            partition,
+            [(key, value, timestamp, txn_headers)],
+            acks=ACKS_ALL,
+        )
+
+    def send_offsets_to_transaction(
+        self,
+        group: str,
+        offsets: dict[TopicPartition, int],
+        metadata: dict[str, Any] | None = None,
+    ) -> None:
+        """Stage input-offset commits to apply atomically with the outputs."""
+        self.coordinator.add_offsets(
+            self.transactional_id, self.epoch, group, offsets, metadata
+        )
+
+
+def get_transaction_coordinator(cluster: MessagingCluster) -> TransactionCoordinator:
+    """One coordinator per cluster, created on first use."""
+    coordinator = getattr(cluster, "_txn_coordinator", None)
+    if coordinator is None:
+        coordinator = TransactionCoordinator(cluster)
+        cluster._txn_coordinator = coordinator
+    return coordinator

@@ -1,0 +1,78 @@
+"""State recovery from changelogs (§3.2, §4.1).
+
+"After failure, state is reconstructed from the changelog."  Recovery time
+is proportional to the changelog's *retained* size, which is why compaction
+matters: a compacted changelog replays one record per live key instead of
+one per historical update (E4 measures the difference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.records import TopicPartition
+from repro.processing.state import changelog_topic_name
+
+
+@dataclass
+class RecoveryReport:
+    """What a changelog restore replayed and how long it (simulatedly) took."""
+
+    records_replayed: int = 0
+    simulated_seconds: float = 0.0
+    stores_restored: int = 0
+    per_store: dict[str, int] = field(default_factory=dict)
+
+
+def restore_state(
+    cluster,
+    job_name: str,
+    store_name: str,
+    task_id: int,
+    state,
+    batch: int = 500,
+) -> RecoveryReport:
+    """Rebuild one task's store by replaying its changelog partition."""
+    report = RecoveryReport()
+    topic = changelog_topic_name(job_name, store_name)
+    tp = TopicPartition(topic, task_id)
+    # Let follower replication advance the high watermark so every published
+    # changelog record is visible to the restore read.
+    cluster.tick(0.0)
+    offset = cluster.beginning_offset(tp)
+    end = cluster.end_offset(tp)
+    state.clear()
+    while offset < end:
+        result = cluster.fetch(topic, task_id, offset, batch)
+        report.simulated_seconds += result.latency
+        for record in result.records:
+            state.restore_entry(record.key, record.value)
+            report.records_replayed += 1
+        if result.next_offset <= offset:
+            break
+        offset = result.next_offset
+    report.stores_restored = 1
+    report.per_store[f"{store_name}[{task_id}]"] = report.records_replayed
+    return report
+
+
+def restore_job_state(runner) -> RecoveryReport:
+    """Rebuild every changelogged store of every task of a job."""
+    total = RecoveryReport()
+    for store_config in runner.config.stores:
+        if not store_config.changelog:
+            continue
+        for instance in runner.tasks():
+            state = instance.stores[store_config.name]
+            report = restore_state(
+                runner.cluster,
+                runner.config.name,
+                store_config.name,
+                instance.task_id,
+                state,
+            )
+            total.records_replayed += report.records_replayed
+            total.simulated_seconds += report.simulated_seconds
+            total.stores_restored += report.stores_restored
+            total.per_store.update(report.per_store)
+    return total

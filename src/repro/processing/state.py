@@ -1,0 +1,101 @@
+"""Explicit task state with changelog-backed durability (§3.2).
+
+"Our solution is for the processing layer to publish state updates to a
+changelog, which is a derived feed stored by the messaging layer.  After
+failure, state is reconstructed from the changelog."
+
+:class:`KeyValueState` wraps a local :class:`~repro.processing.store.KeyValueStore`
+and write-through-publishes every mutation to a *compacted* changelog topic
+in the messaging layer.  Because the changelog is keyed by the state key,
+compaction (§4.1) bounds its size by the number of live keys, which is what
+makes recovery fast (E4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.common.errors import StateStoreError
+from repro.processing.store import KeyValueStore
+
+
+def changelog_topic_name(job_name: str, store_name: str) -> str:
+    """Canonical changelog topic for a job's store (Samza convention)."""
+    return f"__changelog-{job_name}-{store_name}"
+
+
+class KeyValueState:
+    """A named state store owned by one task, optionally changelogged.
+
+    ``changelog_append`` is injected by the job runner: it publishes
+    ``(key, value)`` to the task's changelog partition.  When ``None`` the
+    state is transient (lost on failure) — the ablation mode used to show
+    why changelogs matter.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store: KeyValueStore,
+        changelog_append=None,
+    ) -> None:
+        self.name = name
+        self.store = store
+        self._changelog_append = changelog_append
+        self.puts = 0
+        self.gets = 0
+        self.deletes = 0
+
+    # -- mutation (write-through to changelog) -------------------------------------
+
+    def put(self, key: Any, value: Any) -> None:
+        if value is None:
+            raise StateStoreError(
+                f"state {self.name!r}: None values are reserved for deletes"
+            )
+        self.store.put(key, value)
+        self.puts += 1
+        if self._changelog_append is not None:
+            self._changelog_append(key, value)
+
+    def delete(self, key: Any) -> None:
+        self.store.delete(key)
+        self.deletes += 1
+        if self._changelog_append is not None:
+            self._changelog_append(key, None)  # tombstone
+
+    def get(self, key: Any) -> Any:
+        self.gets += 1
+        return self.store.get(key)
+
+    def get_or_default(self, key: Any, default: Any) -> Any:
+        value = self.get(key)
+        return value if value is not None else default
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.store
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return self.store.items()
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def approximate_size_bytes(self) -> int:
+        return self.store.approximate_size_bytes()
+
+    # -- recovery -----------------------------------------------------------------------
+
+    def restore_entry(self, key: Any, value: Any) -> None:
+        """Apply one changelog record during recovery (no re-publication)."""
+        if value is None:
+            self.store.delete(key)
+        else:
+            self.store.put(key, value)
+
+    def clear(self) -> None:
+        self.store.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        logged = "changelogged" if self._changelog_append else "transient"
+        return f"KeyValueState({self.name!r}, {len(self.store)} keys, {logged})"

@@ -1,0 +1,452 @@
+"""The partition log: a segmented, indexed, append-only commit log.
+
+This is the storage engine behind every topic partition in the messaging
+layer (§3.1 "distributed commit log") and the substrate of E1: because
+appends always go to the tail and fetches locate their position through the
+sparse index, the cost of both is independent of how much history the log
+holds.
+
+One :class:`PartitionLog` corresponds to one replica of one partition on one
+broker.  Latency for each operation is computed from the shared
+:class:`~repro.storage.pagecache.PageCache` and returned to the caller (the
+broker adds request/network overheads on top).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.clock import Clock, SimClock
+from repro.common.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.common.errors import ConfigError, OffsetOutOfRangeError
+from repro.common.records import StoredMessage
+from repro.storage.index import SparseOffsetIndex
+from repro.storage.pagecache import PageCache
+from repro.storage.segment import LogSegment
+
+
+@dataclass(frozen=True)
+class LogConfig:
+    """Per-log storage knobs (per-topic in the messaging layer)."""
+
+    segment_max_bytes: int = 1024 * 1024
+    segment_max_messages: int = 10_000
+    index_interval_bytes: int = 4096
+    max_message_bytes: int = 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.segment_max_bytes <= 0:
+            raise ConfigError("segment_max_bytes must be > 0")
+        if self.segment_max_messages <= 0:
+            raise ConfigError("segment_max_messages must be > 0")
+        if self.max_message_bytes <= 0:
+            raise ConfigError("max_message_bytes must be > 0")
+
+
+@dataclass
+class AppendResult:
+    """Outcome of a log append: assigned offset plus charged latency."""
+
+    offset: int
+    latency: float
+
+
+@dataclass
+class ReadResult:
+    """Outcome of a log read: records plus charged latency.
+
+    ``next_offset`` is where a sequential reader should continue — one past
+    the last *scanned* record.  Layers above may filter records out of
+    ``messages`` (high-watermark bounds, transaction markers); consumers
+    advance by ``next_offset`` so filtered batches cannot wedge them.
+    """
+
+    messages: list[StoredMessage]
+    latency: float
+    log_end_offset: int
+    next_offset: int = 0
+
+
+class PartitionLog:
+    """Segmented append-only log with sparse per-segment indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        config: LogConfig | None = None,
+        clock: Clock | None = None,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        page_cache: PageCache | None = None,
+    ) -> None:
+        self.name = name
+        self.config = config if config is not None else LogConfig()
+        self.clock = clock if clock is not None else SimClock()
+        self.cost_model = cost_model
+        self.page_cache = (
+            page_cache
+            if page_cache is not None
+            else PageCache(clock=self.clock, cost_model=cost_model)
+        )
+        self._segments: list[LogSegment] = [LogSegment(0, self.clock.now())]
+        self._indexes: dict[int, SparseOffsetIndex] = {
+            0: SparseOffsetIndex(self.config.index_interval_bytes)
+        }
+        self._next_offset = 0
+        self._log_start_offset = 0
+
+    # -- identity helpers -------------------------------------------------------
+
+    def _file_id(self, segment: LogSegment) -> str:
+        return f"{self.name}/{segment.base_offset:020d}.log"
+
+    # -- append path --------------------------------------------------------------
+
+    def append(
+        self,
+        key: Any,
+        value: Any,
+        timestamp: float | None = None,
+        headers: dict[str, Any] | None = None,
+    ) -> AppendResult:
+        """Append one record at the tail; returns offset and latency."""
+        now = self.clock.now()
+        message = StoredMessage(
+            key=key,
+            value=value,
+            timestamp=timestamp if timestamp is not None else now,
+            offset=self._next_offset,
+            headers=headers if headers is not None else {},
+        )
+        if message.size > self.config.max_message_bytes:
+            raise ConfigError(
+                f"message of {message.size}B exceeds max_message_bytes="
+                f"{self.config.max_message_bytes}"
+            )
+        segment = self._maybe_roll(message.size, now)
+        position = segment.append(message, now)
+        self._indexes[segment.base_offset].maybe_add(
+            message.offset, position, message.size
+        )
+        latency = self.page_cache.write(self._file_id(segment), position, message.size)
+        self._next_offset += 1
+        return AppendResult(offset=message.offset, latency=latency)
+
+    def append_stored(self, message: StoredMessage) -> AppendResult:
+        """Append a pre-built record, preserving its offset.
+
+        Used by follower replicas copying from the leader: offsets must match
+        the leader's exactly, so gaps after the local end offset are allowed
+        only when they continue the leader's sequence.
+        """
+        if message.offset < self._next_offset:
+            raise ConfigError(
+                f"replica append out of order: {message.offset} < "
+                f"{self._next_offset}"
+            )
+        now = self.clock.now()
+        segment = self._maybe_roll(message.size, now)
+        position = segment.append(message, now)
+        self._indexes[segment.base_offset].maybe_add(
+            message.offset, position, message.size
+        )
+        latency = self.page_cache.write(self._file_id(segment), position, message.size)
+        self._next_offset = message.offset + 1
+        return AppendResult(offset=message.offset, latency=latency)
+
+    def _maybe_roll(self, incoming_size: int, now: float) -> LogSegment:
+        active = self._segments[-1]
+        full = (
+            active.size_bytes + incoming_size > self.config.segment_max_bytes
+            or active.message_count >= self.config.segment_max_messages
+        )
+        if full and active.message_count > 0:
+            active.seal()
+            active = LogSegment(self._next_offset, now)
+            self._segments.append(active)
+            self._indexes[active.base_offset] = SparseOffsetIndex(
+                self.config.index_interval_bytes
+            )
+        return active
+
+    # -- read path ----------------------------------------------------------------
+
+    def read(
+        self,
+        offset: int,
+        max_messages: int = 100,
+        max_bytes: int | None = None,
+    ) -> ReadResult:
+        """Read records with offset >= ``offset``; returns records + latency.
+
+        Raises :class:`OffsetOutOfRangeError` when ``offset`` lies outside
+        ``[log_start_offset, log_end_offset]``; reading exactly at the end
+        offset returns an empty batch (a poll with no new data).
+        """
+        if offset < self._log_start_offset or offset > self._next_offset:
+            raise OffsetOutOfRangeError(
+                offset, self._log_start_offset, self._next_offset
+            )
+        if max_messages <= 0:
+            return ReadResult([], 0.0, self._next_offset, next_offset=offset)
+
+        collected: list[StoredMessage] = []
+        latency = 0.0
+        byte_budget = max_bytes if max_bytes is not None else 1 << 62
+        seg_idx = self._segment_index_for(offset)
+        cursor = offset
+        while seg_idx < len(self._segments) and len(collected) < max_messages:
+            segment = self._segments[seg_idx]
+            # Index probe: one RAM-resident binary-search per segment touched.
+            latency += self.cost_model.request_overhead / 10
+            self._indexes[segment.base_offset].lookup(cursor)
+            batch = segment.read_from(cursor, max_messages - len(collected))
+            kept: list[StoredMessage] = []
+            budget_hit = False
+            for message in batch:
+                over_budget = message.size > byte_budget
+                # Kafka semantics: always deliver at least one record so an
+                # oversized message cannot wedge a consumer.
+                if over_budget and (collected or kept):
+                    budget_hit = True
+                    break
+                kept.append(message)
+                byte_budget -= message.size
+            if kept:
+                start = segment.position_of(kept[0].offset)
+                nbytes = sum(m.size for m in kept)
+                latency += self.page_cache.read(
+                    self._file_id(segment), start, nbytes
+                )
+                collected.extend(kept)
+                cursor = kept[-1].offset + 1
+            if budget_hit:
+                break
+            seg_idx += 1
+            if seg_idx < len(self._segments):
+                cursor = max(cursor, self._segments[seg_idx].base_offset)
+        next_offset = collected[-1].offset + 1 if collected else offset
+        return ReadResult(collected, latency, self._next_offset, next_offset)
+
+    def _segment_index_for(self, offset: int) -> int:
+        bases = [s.base_offset for s in self._segments]
+        idx = bisect_right(bases, offset) - 1
+        if idx < 0:
+            idx = 0
+        # Compaction/retention may leave the target segment empty or the
+        # offset past its last record; walk forward to the covering segment.
+        while idx < len(self._segments):
+            segment = self._segments[idx]
+            last = segment.last_offset
+            if last is not None and last >= offset:
+                return idx
+            if not segment.sealed:
+                return idx
+            idx += 1
+        return len(self._segments) - 1
+
+    def offset_for_timestamp(self, timestamp: float) -> int | None:
+        """Earliest offset whose record timestamp >= ``timestamp``.
+
+        This is the §3.1 "metadata-based access" primitive: consumers rewind
+        to a point in time, not just to a raw offset.
+        """
+        for segment in self._segments:
+            last_ts = segment.last_timestamp
+            if last_ts is not None and last_ts >= timestamp:
+                found = segment.offset_for_timestamp(timestamp)
+                if found is not None:
+                    return found
+        return None
+
+    # -- truncation (follower reconciliation) ------------------------------------
+
+    def truncate_to(self, offset: int) -> int:
+        """Discard all records with offset >= ``offset``; returns #removed.
+
+        Used when a follower re-syncs with a newly elected leader whose log
+        is shorter than the follower's un-replicated tail.
+        """
+        if offset < self._log_start_offset:
+            raise ConfigError(
+                f"cannot truncate below log start {self._log_start_offset}"
+            )
+        removed = 0
+        while self._segments and self._segments[-1].base_offset >= offset:
+            victim = self._segments.pop()
+            removed += victim.message_count
+            self._indexes.pop(victim.base_offset, None)
+            self.page_cache.forget_file(self._file_id(victim))
+            if not self._segments:
+                break
+        if not self._segments:
+            self._segments = [LogSegment(offset, self.clock.now())]
+            self._indexes[offset] = SparseOffsetIndex(
+                self.config.index_interval_bytes
+            )
+        else:
+            tail = self._segments[-1]
+            survivors = [m for m in tail.messages() if m.offset < offset]
+            removed += tail.message_count - len(survivors)
+            was_sealed = tail.sealed
+            if not was_sealed:
+                tail.sealed = True  # replace_messages requires sealed
+            tail.replace_messages(survivors)
+            tail.sealed = was_sealed
+            self._rebuild_index(tail)
+            if tail.sealed:
+                # Truncated into a sealed segment: it becomes active again.
+                tail.sealed = False
+        self._next_offset = min(self._next_offset, offset)
+        return removed
+
+    def _rebuild_index(self, segment: LogSegment) -> None:
+        entries = []
+        position = 0
+        for message in segment.messages():
+            entries.append((message.offset, position, message.size))
+            position += message.size
+        self._indexes[segment.base_offset].rebuild(entries)
+
+    # -- retention / compaction hooks ----------------------------------------------
+
+    def sealed_segments(self) -> list[LogSegment]:
+        return [s for s in self._segments if s.sealed]
+
+    def active_segment(self) -> LogSegment:
+        return self._segments[-1]
+
+    def drop_segment(self, segment: LogSegment) -> int:
+        """Remove a sealed segment entirely (retention); returns bytes freed."""
+        if not segment.sealed:
+            raise ConfigError("cannot drop the active segment")
+        if segment not in self._segments:
+            raise ConfigError("segment does not belong to this log")
+        freed = segment.size_bytes
+        self._segments.remove(segment)
+        self._indexes.pop(segment.base_offset, None)
+        self.page_cache.forget_file(self._file_id(segment))
+        if self._segments:
+            first = self._segments[0]
+            start = first.first_offset
+            self._log_start_offset = (
+                start if start is not None else first.base_offset
+            )
+        else:
+            self._segments = [LogSegment(self._next_offset, self.clock.now())]
+            self._indexes[self._next_offset] = SparseOffsetIndex(
+                self.config.index_interval_bytes
+            )
+            self._log_start_offset = self._next_offset
+        return freed
+
+    def rewrite_segment(
+        self, segment: LogSegment, survivors: list[StoredMessage]
+    ) -> int:
+        """Compaction hook: replace a sealed segment's records; returns bytes
+        reclaimed and rebuilds its index and cache pages."""
+        reclaimed = segment.replace_messages(survivors)
+        self._rebuild_index(segment)
+        self.page_cache.forget_file(self._file_id(segment))
+        # log_start_offset is NOT advanced by compaction (Kafka semantics):
+        # reads below the first surviving offset skip forward to it.
+        return reclaimed
+
+    def merge_sealed_segments(self) -> int:
+        """Coalesce adjacent sealed segments up to the configured segment
+        size; returns the number of segments eliminated.
+
+        Compaction leaves many small, sparse segments; merging them restores
+        sequential read locality (one seek per merged segment instead of one
+        per original segment), which is what makes post-compaction changelog
+        recovery *faster*, as the paper claims (Kafka's cleaner groups
+        segments the same way).
+        """
+        new_segments: list[LogSegment] = []
+        group: list[LogSegment] = []
+        group_bytes = 0
+        group_msgs = 0
+        eliminated = 0
+
+        def flush_group() -> None:
+            nonlocal group, group_bytes, group_msgs, eliminated
+            if not group:
+                return
+            if len(group) == 1:
+                new_segments.append(group[0])
+            else:
+                merged = LogSegment(group[0].base_offset, self.clock.now())
+                for old in group:
+                    for message in old.messages():
+                        merged.append(message, self.clock.now())
+                    self._indexes.pop(old.base_offset, None)
+                    self.page_cache.forget_file(self._file_id(old))
+                merged.seal()
+                self._indexes[merged.base_offset] = SparseOffsetIndex(
+                    self.config.index_interval_bytes
+                )
+                self._rebuild_index(merged)
+                eliminated += len(group) - 1
+                new_segments.append(merged)
+            group = []
+            group_bytes = 0
+            group_msgs = 0
+
+        for segment in self._segments:
+            if not segment.sealed:
+                flush_group()
+                new_segments.append(segment)
+                continue
+            over = (
+                group_bytes + segment.size_bytes > self.config.segment_max_bytes
+                or group_msgs + segment.message_count
+                > self.config.segment_max_messages
+            )
+            if group and over:
+                flush_group()
+            group.append(segment)
+            group_bytes += segment.size_bytes
+            group_msgs += segment.message_count
+        flush_group()
+        self._segments = new_segments
+        return eliminated
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def log_start_offset(self) -> int:
+        return self._log_start_offset
+
+    @property
+    def log_end_offset(self) -> int:
+        """Offset that the *next* appended record will receive (LEO)."""
+        return self._next_offset
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(s.size_bytes for s in self._segments)
+
+    @property
+    def message_count(self) -> int:
+        return sum(s.message_count for s in self._segments)
+
+    def segments(self) -> list[LogSegment]:
+        return list(self._segments)
+
+    def all_messages(self) -> list[StoredMessage]:
+        """Every record currently retained, in offset order (tests/recovery)."""
+        out: list[StoredMessage] = []
+        for segment in self._segments:
+            out.extend(segment.messages())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PartitionLog({self.name!r}, [{self._log_start_offset}, "
+            f"{self._next_offset}), segments={len(self._segments)})"
+        )

@@ -1,0 +1,86 @@
+"""Log retention: bound the stored history by time and/or size (§4.1).
+
+"To put a bound on the amount of data that is stored, a retention period is
+configured per topic.  This period is usually expressed in terms of time,
+e.g. one month worth of data, but for operational reasons it may also be
+configured as a maximum log size."
+
+Retention deletes whole *sealed* segments from the head (oldest end) of the
+log; the active segment is never deleted.  Deleting whole segments is what
+keeps retention O(1) per segment regardless of log size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.clock import Clock
+from repro.common.errors import ConfigError
+from repro.storage.log import PartitionLog
+
+
+@dataclass(frozen=True)
+class RetentionConfig:
+    """Retention bounds; ``None`` disables the respective bound."""
+
+    retention_seconds: float | None = None
+    retention_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.retention_seconds is not None and self.retention_seconds < 0:
+            raise ConfigError("retention_seconds must be >= 0")
+        if self.retention_bytes is not None and self.retention_bytes < 0:
+            raise ConfigError("retention_bytes must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.retention_seconds is not None or self.retention_bytes is not None
+
+
+@dataclass
+class RetentionResult:
+    """What one enforcement pass removed."""
+
+    segments_deleted: int = 0
+    bytes_deleted: int = 0
+    messages_deleted: int = 0
+    new_log_start_offset: int = 0
+
+
+class RetentionEnforcer:
+    """Applies a :class:`RetentionConfig` to a :class:`PartitionLog`."""
+
+    def __init__(self, config: RetentionConfig, clock: Clock) -> None:
+        self.config = config
+        self.clock = clock
+
+    def enforce(self, log: PartitionLog) -> RetentionResult:
+        """Delete expired/oversized sealed segments from the oldest end."""
+        result = RetentionResult(new_log_start_offset=log.log_start_offset)
+        if not self.config.enabled:
+            return result
+        now = self.clock.now()
+        # Time-based: a sealed segment expires when its newest record is
+        # older than the retention window.
+        if self.config.retention_seconds is not None:
+            horizon = now - self.config.retention_seconds
+            for segment in list(log.sealed_segments()):
+                last_ts = segment.last_timestamp
+                expired = last_ts is None or last_ts < horizon
+                if not expired:
+                    break  # segments are time-ordered; later ones are newer
+                self._drop(log, segment, result)
+        # Size-based: drop oldest sealed segments while the log exceeds the cap.
+        if self.config.retention_bytes is not None:
+            while log.size_bytes > self.config.retention_bytes:
+                sealed = log.sealed_segments()
+                if not sealed:
+                    break  # only the active segment remains
+                self._drop(log, sealed[0], result)
+        result.new_log_start_offset = log.log_start_offset
+        return result
+
+    def _drop(self, log: PartitionLog, segment, result: RetentionResult) -> None:
+        result.messages_deleted += segment.message_count
+        result.bytes_deleted += log.drop_segment(segment)
+        result.segments_deleted += 1

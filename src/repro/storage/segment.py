@@ -1,0 +1,159 @@
+"""Log segments: the physical unit of the append-only commit log.
+
+A partition's log is a sequence of segments (§4.1).  Only the last segment
+(the *active* one) accepts appends; older segments are *sealed* and become
+the units of retention (whole-segment deletion) and compaction (in-place
+rewrite preserving offsets).
+
+Offsets inside a segment are not necessarily contiguous: compaction removes
+superseded records but survivors keep their original offsets, exactly as in
+Kafka.  Reads therefore locate records by binary search on offset.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Any, Iterator
+
+from repro.common.errors import ConfigError
+from repro.common.records import StoredMessage
+
+
+class LogSegment:
+    """One segment file of a partition log.
+
+    Tracks byte positions of each record so the simulated page cache can
+    translate offset ranges into page ranges.
+    """
+
+    def __init__(self, base_offset: int, created_at: float) -> None:
+        if base_offset < 0:
+            raise ConfigError(f"base_offset must be >= 0, got {base_offset}")
+        self.base_offset = base_offset
+        self.created_at = created_at
+        self.sealed = False
+        self._messages: list[StoredMessage] = []
+        self._positions: list[int] = []  # start byte of each record
+        self._size_bytes = 0
+        self.last_append_at = created_at
+
+    # -- append path ----------------------------------------------------------
+
+    def append(self, message: StoredMessage, now: float) -> int:
+        """Append one record; returns its start byte position in the segment."""
+        if self.sealed:
+            raise ConfigError(
+                f"segment@{self.base_offset} is sealed; appends go to the "
+                "active segment"
+            )
+        if self._messages and message.offset <= self._messages[-1].offset:
+            raise ConfigError(
+                f"offset {message.offset} not greater than last "
+                f"{self._messages[-1].offset}"
+            )
+        position = self._size_bytes
+        self._messages.append(message)
+        self._positions.append(position)
+        self._size_bytes += message.size
+        self.last_append_at = now
+        return position
+
+    def seal(self) -> None:
+        """Mark the segment read-only; sealed segments are retention/compaction
+        candidates."""
+        self.sealed = True
+
+    # -- read path ------------------------------------------------------------
+
+    def read_from(self, offset: int, max_messages: int) -> list[StoredMessage]:
+        """Records with offset >= ``offset``, at most ``max_messages``.
+
+        If ``offset`` was compacted away, reading resumes at the next
+        surviving record (Kafka fetch semantics).
+        """
+        idx = self._find_index(offset)
+        return self._messages[idx : idx + max_messages]
+
+    def position_of(self, offset: int) -> int:
+        """Start byte of the first record with offset >= ``offset``."""
+        idx = self._find_index(offset)
+        if idx >= len(self._positions):
+            return self._size_bytes
+        return self._positions[idx]
+
+    def _find_index(self, offset: int) -> int:
+        keys = [m.offset for m in self._messages]
+        return bisect_left(keys, offset)
+
+    def offset_for_timestamp(self, timestamp: float) -> int | None:
+        """Smallest offset whose record timestamp >= ``timestamp``."""
+        keys = [m.timestamp for m in self._messages]
+        idx = bisect_left(keys, timestamp)
+        if idx >= len(self._messages):
+            return None
+        return self._messages[idx].offset
+
+    # -- compaction support -----------------------------------------------------
+
+    def replace_messages(self, survivors: list[StoredMessage]) -> int:
+        """Rewrite the segment with the given (offset-ordered) survivors.
+
+        Returns the number of bytes reclaimed.  Only sealed segments may be
+        rewritten; the active segment is never compacted (§4.1).
+        """
+        if not self.sealed:
+            raise ConfigError("cannot compact the active segment")
+        offsets = [m.offset for m in survivors]
+        if offsets != sorted(offsets):
+            raise ConfigError("survivors must be offset-ordered")
+        old_size = self._size_bytes
+        self._messages = list(survivors)
+        self._positions = []
+        position = 0
+        for message in self._messages:
+            self._positions.append(position)
+            position += message.size
+        self._size_bytes = position
+        return old_size - self._size_bytes
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        return self._size_bytes
+
+    @property
+    def message_count(self) -> int:
+        return len(self._messages)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._messages
+
+    @property
+    def first_offset(self) -> int | None:
+        return self._messages[0].offset if self._messages else None
+
+    @property
+    def last_offset(self) -> int | None:
+        return self._messages[-1].offset if self._messages else None
+
+    @property
+    def last_timestamp(self) -> float | None:
+        return self._messages[-1].timestamp if self._messages else None
+
+    def messages(self) -> Iterator[StoredMessage]:
+        return iter(self._messages)
+
+    def keys(self) -> set[Any]:
+        return {m.key for m in self._messages}
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "sealed" if self.sealed else "active"
+        return (
+            f"LogSegment(base={self.base_offset}, n={len(self)}, "
+            f"{self._size_bytes}B, {state})"
+        )

@@ -1,0 +1,13 @@
+"""Operational tooling: the engineer-facing inspection surface."""
+
+from repro.tools.admin import AdminClient, GroupLag, HealthReport, PartitionInfo
+from repro.tools.metrics_feed import METRICS_FEED, MetricsPublisher
+
+__all__ = [
+    "AdminClient",
+    "PartitionInfo",
+    "GroupLag",
+    "HealthReport",
+    "MetricsPublisher",
+    "METRICS_FEED",
+]

@@ -1,0 +1,205 @@
+"""Operational inspection: the "Engineer Terminal" of Figure 1.
+
+Figure 1 shows engineers interacting with the Liquid stack directly, and
+§5.1's operational-analysis use case describes "an internal service
+[presenting] a range of business, operational and user metrics ... that help
+different teams understand the current infrastructure status."
+
+:class:`AdminClient` is that surface for this reproduction: structured
+descriptions of brokers, topics, partitions (leader/ISR/offsets), consumer
+groups (positions + lag), feeds (lineage), and a health check that flags the
+conditions an on-call engineer cares about — offline partitions,
+under-replicated partitions, and lagging consumers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import TopicNotFoundError
+from repro.common.records import TopicPartition
+from repro.messaging.cluster import MessagingCluster
+
+
+@dataclass
+class PartitionInfo:
+    """Operational view of one partition."""
+
+    partition: TopicPartition
+    leader: int | None
+    replicas: list[int]
+    isr: list[int]
+    epoch: int
+    log_start_offset: int
+    high_watermark: int
+    log_end_offset: int
+
+    @property
+    def online(self) -> bool:
+        return self.leader is not None
+
+    @property
+    def under_replicated(self) -> bool:
+        return len(self.isr) < len(self.replicas)
+
+
+@dataclass
+class GroupLag:
+    """One consumer group's position on one partition."""
+
+    group: str
+    partition: TopicPartition
+    committed_offset: int | None
+    end_offset: int
+
+    @property
+    def lag(self) -> int:
+        if self.committed_offset is None:
+            return self.end_offset
+        return max(0, self.end_offset - self.committed_offset)
+
+
+@dataclass
+class HealthReport:
+    """What an on-call engineer needs to know right now."""
+
+    live_brokers: int
+    total_brokers: int
+    offline_partitions: list[TopicPartition] = field(default_factory=list)
+    under_replicated: list[TopicPartition] = field(default_factory=list)
+    lagging_groups: list[GroupLag] = field(default_factory=list)
+
+    @property
+    def healthy(self) -> bool:
+        return (
+            self.live_brokers == self.total_brokers
+            and not self.offline_partitions
+            and not self.under_replicated
+            and not self.lagging_groups
+        )
+
+
+class AdminClient:
+    """Read-only operational views over a messaging cluster."""
+
+    def __init__(self, cluster: MessagingCluster) -> None:
+        self.cluster = cluster
+
+    # -- cluster / topics -----------------------------------------------------------
+
+    def describe_cluster(self) -> dict[str, Any]:
+        stats = self.cluster.stats()
+        stats["controller"] = self.cluster.controller.controller_id
+        stats["offline_partitions"] = len(
+            self.cluster.controller.offline_partitions()
+        )
+        return stats
+
+    def describe_topic(self, topic: str) -> list[PartitionInfo]:
+        config = self.cluster.topic_config(topic)  # raises if unknown
+        infos = []
+        for tp in self.cluster.partitions_of(topic):
+            state = self.cluster.controller.partition_state(tp)
+            if state.leader is not None:
+                replica = self.cluster.broker(state.leader).replica(tp)
+                log_start = replica.log.log_start_offset
+                hw = replica.high_watermark
+                leo = replica.log_end_offset
+            else:
+                log_start = hw = leo = 0
+            infos.append(
+                PartitionInfo(
+                    partition=tp,
+                    leader=state.leader,
+                    replicas=list(state.replicas),
+                    isr=list(state.isr),
+                    epoch=state.epoch,
+                    log_start_offset=log_start,
+                    high_watermark=hw,
+                    log_end_offset=leo,
+                )
+            )
+        assert config is not None
+        return infos
+
+    def under_replicated_partitions(self) -> list[TopicPartition]:
+        out = []
+        for topic in self.cluster.topics():
+            for info in self.describe_topic(topic):
+                if info.under_replicated:
+                    out.append(info.partition)
+        return out
+
+    # -- consumer groups -----------------------------------------------------------------
+
+    def consumer_lag(self, group: str) -> list[GroupLag]:
+        """Lag of every partition the group has ever committed."""
+        out = []
+        for tp, commit in self.cluster.offset_manager.fetch_group(group).items():
+            try:
+                end = self.cluster.end_offset(tp)
+            except TopicNotFoundError:
+                continue
+            out.append(
+                GroupLag(
+                    group=group,
+                    partition=tp,
+                    committed_offset=commit.offset,
+                    end_offset=end,
+                )
+            )
+        return sorted(out, key=lambda lag: str(lag.partition))
+
+    def all_group_lags(self) -> dict[str, int]:
+        """Total lag per known group."""
+        return {
+            group: sum(entry.lag for entry in self.consumer_lag(group))
+            for group in sorted(self.cluster.offset_manager.groups())
+        }
+
+    # -- health -------------------------------------------------------------------------------
+
+    def health_check(self, max_group_lag: int = 1000) -> HealthReport:
+        controller = self.cluster.controller
+        report = HealthReport(
+            live_brokers=len(controller.live_brokers()),
+            total_brokers=len(self.cluster.brokers()),
+            offline_partitions=controller.offline_partitions(),
+            under_replicated=self.under_replicated_partitions(),
+        )
+        for group in self.cluster.offset_manager.groups():
+            if group.startswith("__"):
+                continue  # internal groups (mirrors) have their own alerts
+            for entry in self.consumer_lag(group):
+                if entry.lag > max_group_lag:
+                    report.lagging_groups.append(entry)
+        return report
+
+    # -- rendering ---------------------------------------------------------------------------------
+
+    def format_topic(self, topic: str) -> str:
+        """Human-readable one-screen description of a topic."""
+        lines = [f"Topic: {topic}"]
+        for info in self.describe_topic(topic):
+            state = "ONLINE" if info.online else "OFFLINE"
+            flag = " UNDER-REPLICATED" if info.under_replicated else ""
+            lines.append(
+                f"  partition {info.partition.partition}: leader={info.leader} "
+                f"isr={info.isr} epoch={info.epoch} "
+                f"offsets=[{info.log_start_offset}..{info.high_watermark}"
+                f"/{info.log_end_offset}] {state}{flag}"
+            )
+        return "\n".join(lines)
+
+    def format_health(self, report: HealthReport | None = None) -> str:
+        if report is None:
+            report = self.health_check()
+        lines = [
+            f"Brokers: {report.live_brokers}/{report.total_brokers} live",
+            f"Offline partitions: {len(report.offline_partitions)}",
+            f"Under-replicated partitions: {len(report.under_replicated)}",
+            f"Lagging consumer groups: {len(report.lagging_groups)}",
+            f"Status: {'HEALTHY' if report.healthy else 'DEGRADED'}",
+        ]
+        return "\n".join(lines)

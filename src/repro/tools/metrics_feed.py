@@ -1,0 +1,116 @@
+"""Self-monitoring: Liquid's own metrics as a Liquid feed (Figure 1, §5.1).
+
+Figure 1 routes "Logs/Metrics" through the stack itself to "Business
+Metrics" and the engineer terminal, and §5.1 notes that "all data is
+transported by the messaging layer, which only needs to produce a new
+metric."  The :class:`MetricsPublisher` closes that loop: it periodically
+snapshots the cluster's operational metrics (broker counters, latency
+histograms, deployment stats, per-group lag) and publishes them as keyed
+records to an ordinary feed — which downstream jobs can aggregate, alert
+on, or visualize like any other data.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.producer import Producer
+from repro.tools.admin import AdminClient
+
+#: Default feed name for cluster self-metrics.
+METRICS_FEED = "cluster-metrics"
+
+
+class MetricsPublisher:
+    """Periodically publishes cluster metrics into a feed."""
+
+    def __init__(
+        self,
+        cluster: MessagingCluster,
+        feed: str = METRICS_FEED,
+        interval: float = 10.0,
+        partitions: int = 1,
+    ) -> None:
+        if interval <= 0:
+            raise ConfigError("interval must be > 0")
+        self.cluster = cluster
+        self.feed = feed
+        self.interval = interval
+        if feed not in cluster.topics():
+            cluster.create_topic(
+                feed,
+                num_partitions=partitions,
+                replication_factor=min(3, len(cluster.brokers())),
+            )
+        self._producer = Producer(cluster)
+        self._admin = AdminClient(cluster)
+        self.snapshots_published = 0
+        self._timer = None
+
+    # -- one snapshot ---------------------------------------------------------------
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Build the metric records for one publication cycle."""
+        now = self.cluster.clock.now()
+        records: list[dict[str, Any]] = []
+        stats = self._admin.describe_cluster()
+        for name, value in stats.items():
+            if isinstance(value, (int, float)):
+                records.append(
+                    {"metric": f"cluster.{name}", "value": float(value),
+                     "timestamp": now}
+                )
+        for name in self.cluster.metrics.names():
+            metric = self.cluster.metrics.get(name)
+            snap = getattr(metric, "snapshot", None)
+            if callable(snap):
+                for stat, value in snap().items():
+                    records.append(
+                        {"metric": f"{name}.{stat}", "value": value,
+                         "timestamp": now}
+                    )
+            else:
+                records.append(
+                    {"metric": name, "value": metric.value, "timestamp": now}
+                )
+        for group, lag in self._admin.all_group_lags().items():
+            records.append(
+                {"metric": f"group_lag.{group}", "value": float(lag),
+                 "timestamp": now}
+            )
+        return records
+
+    def publish_once(self) -> int:
+        """Publish one snapshot; returns the number of metric records."""
+        records = self.snapshot()
+        for record in records:
+            self._producer.send(
+                self.feed, record, key=record["metric"],
+                timestamp=record["timestamp"],
+            )
+        self.snapshots_published += 1
+        return len(records)
+
+    # -- scheduling ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Publish on every ``interval`` of simulated time."""
+        if not isinstance(self.cluster.clock, SimClock):
+            raise ConfigError("scheduled publishing requires a SimClock")
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        assert isinstance(self.cluster.clock, SimClock)
+        self._timer = self.cluster.clock.schedule(self.interval, self._fire)
+
+    def _fire(self) -> None:
+        self.publish_once()
+        self._schedule_next()
+
+    def stop(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None

@@ -1,0 +1,39 @@
+"""Synthetic workload generators for the paper's §5.1 use cases."""
+
+from repro.workloads.callgraph import (
+    SERVICES,
+    CallGraphEventGenerator,
+    SlowService,
+    assemble_call_tree,
+    critical_path_ms,
+)
+from repro.workloads.generators import EventClock, KeyPool, zipf_weights
+from repro.workloads.oplogs import (
+    METRICS,
+    SEVERITIES,
+    ErrorBurst,
+    OperationalEventGenerator,
+)
+from repro.workloads.profiles import MUTABLE_FIELDS, ProfileUpdateGenerator
+from repro.workloads.rum import CDNS, REGIONS, CdnDegradation, RumEventGenerator
+
+__all__ = [
+    "KeyPool",
+    "EventClock",
+    "zipf_weights",
+    "RumEventGenerator",
+    "CdnDegradation",
+    "REGIONS",
+    "CDNS",
+    "CallGraphEventGenerator",
+    "SlowService",
+    "assemble_call_tree",
+    "critical_path_ms",
+    "SERVICES",
+    "ProfileUpdateGenerator",
+    "MUTABLE_FIELDS",
+    "OperationalEventGenerator",
+    "ErrorBurst",
+    "METRICS",
+    "SEVERITIES",
+]

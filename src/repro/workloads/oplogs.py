@@ -1,0 +1,105 @@
+"""Operational metrics and logs: the §5.1 operational-analysis use case.
+
+"Analyzing operational data, such as metrics, alerts and logs, is crucial
+to react to potential problems quickly ... With Liquid, integrating new
+data, such as crash reports from mobile phones, is straightforward."
+
+The generator emits host-level metric samples plus log lines, with an
+injectable *error burst* on one host (the incident the pipeline must catch).
+A second event type (``mobile_crash``) demonstrates the paper's "just add a
+new metric" point: it reuses the same transport without schema migration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import ConfigError
+from repro.workloads.generators import EventClock
+
+METRICS = ("cpu_pct", "heap_mb", "qps", "p99_ms")
+SEVERITIES = ("INFO", "WARN", "ERROR")
+
+
+@dataclass(frozen=True)
+class ErrorBurst:
+    """Injected incident: ``host`` logs mostly errors from ``at_time``."""
+
+    host: str
+    at_time: float
+    error_rate: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0 < self.error_rate <= 1:
+            raise ConfigError("error_rate must be in (0, 1]")
+
+
+class OperationalEventGenerator:
+    """Yields mixed metric/log/crash events keyed by host."""
+
+    def __init__(
+        self,
+        hosts: int = 20,
+        rate_per_second: float = 200.0,
+        burst: ErrorBurst | None = None,
+        mobile_crash_fraction: float = 0.01,
+        seed: int = 77,
+    ) -> None:
+        if hosts <= 0:
+            raise ConfigError("hosts must be > 0")
+        if not 0 <= mobile_crash_fraction < 1:
+            raise ConfigError("mobile_crash_fraction must be in [0, 1)")
+        self.hosts = [f"host-{i:03d}" for i in range(hosts)]
+        self._event_clock = EventClock(rate_per_second, seed=seed)
+        self._rng = random.Random(seed + 1)
+        self.burst = burst
+        self.mobile_crash_fraction = mobile_crash_fraction
+
+    def events(self, count: int) -> Iterator[dict]:
+        for _ in range(count):
+            timestamp = self._event_clock.next_timestamp()
+            roll = self._rng.random()
+            if roll < self.mobile_crash_fraction:
+                yield {
+                    "type": "mobile_crash",
+                    "host": "mobile-gateway",
+                    "app_version": f"9.{self._rng.randint(0, 4)}.{self._rng.randint(0, 9)}",
+                    "os": self._rng.choice(("android", "ios")),
+                    "timestamp": timestamp,
+                }
+            elif roll < 0.5:
+                host = self._rng.choice(self.hosts)
+                metric = self._rng.choice(METRICS)
+                yield {
+                    "type": "metric",
+                    "host": host,
+                    "metric": metric,
+                    "value": round(self._metric_value(metric), 3),
+                    "timestamp": timestamp,
+                }
+            else:
+                host = self._rng.choice(self.hosts)
+                severity = self._severity(host, timestamp)
+                yield {
+                    "type": "log",
+                    "host": host,
+                    "severity": severity,
+                    "message": f"{severity.lower()} event on {host}",
+                    "timestamp": timestamp,
+                }
+
+    def _metric_value(self, metric: str) -> float:
+        base = {"cpu_pct": 40.0, "heap_mb": 900.0, "qps": 1500.0, "p99_ms": 45.0}
+        return self._rng.lognormvariate(0, 0.25) * base[metric]
+
+    def _severity(self, host: str, timestamp: float) -> str:
+        if (
+            self.burst is not None
+            and host == self.burst.host
+            and timestamp >= self.burst.at_time
+            and self._rng.random() < self.burst.error_rate
+        ):
+            return "ERROR"
+        return self._rng.choices(SEVERITIES, weights=(0.85, 0.12, 0.03), k=1)[0]

@@ -1,0 +1,93 @@
+"""User-profile updates: the §4.2 incremental-processing workload.
+
+"This is particularly important in scenarios in which only a small
+percentage of data changes periodically, such as user profile updates."
+
+The generator models a member base where an initial snapshot exists and then
+small update deltas arrive: each period, ``churn_fraction`` of users change
+one field.  E3 sweeps the history length while keeping the delta fixed to
+show full-recompute cost growing linearly while incremental stays flat.
+
+Values are keyed by user id, so the feed is compactable: the *live* state is
+one record per user regardless of update count (E4's workload).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.common.errors import ConfigError
+
+HEADLINE_WORDS = (
+    "engineer", "scientist", "manager", "director", "analyst",
+    "designer", "founder", "consultant", "architect", "recruiter",
+)
+INDUSTRIES = (
+    "software", "finance", "healthcare", "education", "retail",
+    "manufacturing", "media", "energy",
+)
+MUTABLE_FIELDS = ("headline", "industry", "location", "connections")
+LOCATIONS = (
+    "San Francisco", "New York", "London", "Bangalore", "Berlin",
+    "Toronto", "Sydney", "singapore",  # deliberately mis-cased: cleaning fodder
+)
+
+
+class ProfileUpdateGenerator:
+    """Yields profile snapshot + update-delta events keyed by user id."""
+
+    def __init__(
+        self,
+        users: int = 1000,
+        churn_fraction: float = 0.02,
+        seed: int = 123,
+    ) -> None:
+        if users <= 0:
+            raise ConfigError("users must be > 0")
+        if not 0 < churn_fraction <= 1:
+            raise ConfigError("churn_fraction must be in (0, 1]")
+        self.users = users
+        self.churn_fraction = churn_fraction
+        self._rng = random.Random(seed)
+
+    def _user_id(self, i: int) -> str:
+        return f"member-{i:07d}"
+
+    def _random_profile(self, user_id: str, timestamp: float) -> dict:
+        return {
+            "user": user_id,
+            "headline": (
+                f"{self._rng.choice(HEADLINE_WORDS)} of "
+                f"{self._rng.choice(INDUSTRIES)}"
+            ),
+            "industry": self._rng.choice(INDUSTRIES),
+            "location": self._rng.choice(LOCATIONS),
+            "connections": self._rng.randint(1, 2000),
+            "timestamp": timestamp,
+        }
+
+    def snapshot(self, timestamp: float = 0.0) -> Iterator[dict]:
+        """Initial full profile for every user."""
+        for i in range(self.users):
+            yield self._random_profile(self._user_id(i), timestamp)
+
+    def delta(self, timestamp: float) -> Iterator[dict]:
+        """One update period: ``churn_fraction`` of users change one field."""
+        changed = self._rng.sample(
+            range(self.users), max(1, int(self.users * self.churn_fraction))
+        )
+        for i in sorted(changed):
+            user_id = self._user_id(i)
+            profile = self._random_profile(user_id, timestamp)
+            field = self._rng.choice(MUTABLE_FIELDS)
+            yield {
+                "user": user_id,
+                field: profile[field],
+                "timestamp": timestamp,
+            }
+
+    def deltas(self, periods: int, start: float = 1.0, spacing: float = 1.0) -> Iterator[dict]:
+        """Several consecutive update periods."""
+        for p in range(periods):
+            yield from self.delta(start + p * spacing)

@@ -1,0 +1,81 @@
+"""Real-user-monitoring (RUM) events: the §5.1 site-speed use case.
+
+"when a client visits a webpage, an event is created that contains a
+timestamp, the page or resource loaded, the time that it took to load, the
+IP address location of the requesting client and the content delivery
+network (CDN) used to serve the resource."
+
+The generator produces exactly that schema, with Zipf-popular pages, a bounded
+set of regions and CDNs, sessionized users, and an optional *injected
+anomaly*: one CDN's load times degrade by a factor after a given event time,
+which the anomaly-detection pipeline must surface (E-examples and tests
+assert it does).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.errors import ConfigError
+from repro.workloads.generators import EventClock, KeyPool
+
+REGIONS = ("us-east", "us-west", "eu-west", "eu-central", "ap-south", "ap-east")
+CDNS = ("cdn-akamai", "cdn-fastly", "cdn-edgecast")
+
+
+@dataclass(frozen=True)
+class CdnDegradation:
+    """An injected incident: ``cdn`` slows by ``factor`` from ``at_time``."""
+
+    cdn: str
+    at_time: float
+    factor: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.cdn not in CDNS:
+            raise ConfigError(f"unknown CDN {self.cdn!r}; known: {CDNS}")
+        if self.factor <= 1.0:
+            raise ConfigError("degradation factor must be > 1")
+
+
+class RumEventGenerator:
+    """Yields page-load events as dicts keyed by user id."""
+
+    def __init__(
+        self,
+        users: int = 500,
+        pages: int = 50,
+        rate_per_second: float = 100.0,
+        base_load_ms: float = 120.0,
+        degradation: CdnDegradation | None = None,
+        seed: int = 42,
+    ) -> None:
+        self._users = KeyPool(users, prefix="user", skew=0.8, seed=seed)
+        self._pages = KeyPool(pages, prefix="/page", skew=1.1, seed=seed + 1)
+        self._event_clock = EventClock(rate_per_second, seed=seed + 2)
+        self._rng = random.Random(seed + 3)
+        self.base_load_ms = base_load_ms
+        self.degradation = degradation
+
+    def events(self, count: int) -> Iterator[dict]:
+        """Generate ``count`` events in event-time order."""
+        for _ in range(count):
+            timestamp = self._event_clock.next_timestamp()
+            cdn = self._rng.choice(CDNS)
+            load_ms = self._rng.lognormvariate(0, 0.4) * self.base_load_ms
+            if (
+                self.degradation is not None
+                and cdn == self.degradation.cdn
+                and timestamp >= self.degradation.at_time
+            ):
+                load_ms *= self.degradation.factor
+            yield {
+                "user": self._users.pick(),
+                "page": self._pages.pick(),
+                "load_time_ms": round(load_ms, 3),
+                "region": self._rng.choice(REGIONS),
+                "cdn": cdn,
+                "timestamp": timestamp,
+            }

@@ -1,0 +1,116 @@
+"""Property-based tests for the commit log's core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.storage.compaction import LogCompactor
+from repro.storage.log import LogConfig, PartitionLog
+
+keys = st.text(alphabet="abcde", min_size=1, max_size=2)
+values = st.integers()
+entries = st.lists(st.tuples(keys, values), min_size=1, max_size=80)
+segment_sizes = st.integers(min_value=1, max_value=20)
+
+
+def build_log(data, per_segment) -> PartitionLog:
+    log = PartitionLog(
+        "p-0", LogConfig(segment_max_messages=per_segment), clock=SimClock()
+    )
+    for key, value in data:
+        log.append(key, value)
+    return log
+
+
+class TestAppendInvariants:
+    @given(entries, segment_sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_offsets_are_dense_and_ordered(self, data, per_segment):
+        log = build_log(data, per_segment)
+        offsets = [m.offset for m in log.all_messages()]
+        assert offsets == list(range(len(data)))
+
+    @given(entries, segment_sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_read_returns_exact_suffix(self, data, per_segment):
+        log = build_log(data, per_segment)
+        for start in range(0, len(data) + 1, max(1, len(data) // 5)):
+            got = log.read(start, max_messages=len(data) + 1).messages
+            assert [(m.key, m.value) for m in got] == data[start:]
+
+    @given(entries, segment_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_segments_partition_the_offset_space(self, data, per_segment):
+        log = build_log(data, per_segment)
+        covered = []
+        for segment in log.segments():
+            covered.extend(m.offset for m in segment.messages())
+        assert covered == sorted(covered)
+        assert covered == list(range(len(data)))
+
+
+class TestTruncateInvariants:
+    @given(entries, segment_sizes, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_truncate_matches_list_model(self, data, per_segment, draw):
+        log = build_log(data, per_segment)
+        cut = draw.draw(st.integers(min_value=0, max_value=len(data)))
+        log.truncate_to(cut)
+        model = data[:cut]
+        assert [(m.key, m.value) for m in log.all_messages()] == model
+        assert log.log_end_offset == cut
+
+    @given(entries, segment_sizes, st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_append_after_truncate_continues_contiguously(
+        self, data, per_segment, draw
+    ):
+        log = build_log(data, per_segment)
+        cut = draw.draw(st.integers(min_value=0, max_value=len(data)))
+        log.truncate_to(cut)
+        result = log.append("new-key", "new-value")
+        assert result.offset == cut
+
+
+class TestCompactionInvariants:
+    @given(entries, segment_sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_latest_value_per_key_preserved(self, data, per_segment):
+        log = build_log(data, per_segment)
+        LogCompactor(clock=SimClock()).compact(log)
+        latest = {}
+        for key, value in data:
+            latest[key] = value
+        survivors = {m.key: m.value for m in log.all_messages()}
+        # Every live key's latest value is present and correct.
+        assert survivors == {
+            key: value
+            for key, value in latest.items()
+        } or all(survivors[k] == latest[k] for k in survivors)
+        for key in latest:
+            assert survivors.get(key) == latest[key]
+
+    @given(entries, segment_sizes)
+    @settings(max_examples=50, deadline=None)
+    def test_offsets_stay_sorted_and_unique(self, data, per_segment):
+        log = build_log(data, per_segment)
+        LogCompactor(clock=SimClock()).compact(log)
+        offsets = [m.offset for m in log.all_messages()]
+        assert offsets == sorted(set(offsets))
+
+    @given(entries, segment_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_compaction_never_grows_the_log(self, data, per_segment):
+        log = build_log(data, per_segment)
+        before_bytes = log.size_bytes
+        before_count = log.message_count
+        LogCompactor(clock=SimClock()).compact(log)
+        assert log.size_bytes <= before_bytes
+        assert log.message_count <= before_count
+
+    @given(entries, segment_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_reads_after_compaction_skip_forward(self, data, per_segment):
+        log = build_log(data, per_segment)
+        LogCompactor(clock=SimClock()).compact(log)
+        got = log.read(0, max_messages=len(data) + 1).messages
+        assert [m.offset for m in got] == [m.offset for m in log.all_messages()]

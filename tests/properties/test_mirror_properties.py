@@ -1,0 +1,71 @@
+"""Property-based tests for cross-datacenter mirroring fidelity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.mirror import MirrorMaker
+from repro.messaging.producer import Producer
+
+#: Interleave appends with mirror polls and (rarely) target broker bounces.
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("produce"), st.lists(st.integers(), min_size=1, max_size=6)),
+        st.tuples(st.just("mirror"), st.just([])),
+        st.tuples(st.just("bounce_target"), st.just([])),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def run(schedule):
+    clock = SimClock()
+    west = MessagingCluster(num_brokers=1, clock=clock)
+    east = MessagingCluster(num_brokers=2, clock=clock)
+    west.create_topic("t", num_partitions=2, replication_factor=1)
+    producer = Producer(west)
+    mirror = MirrorMaker(west, east, topics=["t"], name="prop")
+    counter = 0
+    for action, values in schedule:
+        if action == "produce":
+            for value in values:
+                producer.send("t", value, key=f"k{counter % 4}")
+                counter += 1
+        elif action == "mirror":
+            west.tick(0.0)
+            mirror.poll()
+            east.tick(0.0)
+        else:
+            if "t" in east.topics():
+                east.kill_broker(0)
+                east.restart_broker(0)
+                east.run_until_replicated()
+    mirror.run_until_synced()
+    east.run_until_replicated()
+    return west, east
+
+
+def records_of(cluster, partition):
+    result = cluster.fetch("t", partition, 0, max_messages=100_000)
+    return [(r.key, r.value, r.timestamp) for r in result.records]
+
+
+class TestMirrorFidelity:
+    @given(steps)
+    @settings(max_examples=40, deadline=None)
+    def test_target_equals_source_per_partition(self, schedule):
+        west, east = run(schedule)
+        for partition in range(2):
+            assert records_of(west, partition) == records_of(east, partition)
+
+    @given(steps)
+    @settings(max_examples=40, deadline=None)
+    def test_lag_zero_after_sync(self, schedule):
+        west, _east = run(schedule)
+        # Re-derive the mirror's view: a fresh one with the same name reads
+        # the checkpoints and should see nothing left to copy.
+        east2 = MessagingCluster(num_brokers=1, clock=west.clock)
+        fresh = MirrorMaker(west, east2, topics=["t"], name="prop2")
+        fresh.run_until_synced()
+        assert fresh.lag() == 0

@@ -1,0 +1,94 @@
+"""Property-based tests for page-cache accounting invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.storage.pagecache import PageCache
+
+PAGE = 64 * 1024
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("write"),
+            st.integers(min_value=0, max_value=31),  # page index
+            st.integers(min_value=1, max_value=4),   # pages
+        ),
+        st.tuples(
+            st.just("read"),
+            st.integers(min_value=0, max_value=31),
+            st.integers(min_value=1, max_value=4),
+        ),
+        st.tuples(st.just("advance"), st.integers(min_value=0, max_value=10), st.just(0)),
+    ),
+    max_size=60,
+)
+
+
+def run_ops(op_list, capacity_pages=8, eviction="append_order"):
+    clock = SimClock()
+    cache = PageCache(
+        clock=clock,
+        capacity_bytes=capacity_pages * PAGE,
+        flush_timeout=2.0,
+        prefetch_pages=2,
+        eviction=eviction,
+    )
+    total_latency = 0.0
+    for op, a, b in op_list:
+        if op == "write":
+            total_latency += cache.write("f", a * PAGE, b * PAGE)
+        elif op == "read":
+            total_latency += cache.read("f", a * PAGE, b * PAGE)
+        else:
+            clock.advance(float(a))
+    return cache, total_latency
+
+
+class TestInvariants:
+    @given(ops, st.sampled_from(["append_order", "lru"]))
+    @settings(max_examples=60, deadline=None)
+    def test_residency_never_exceeds_capacity(self, op_list, eviction):
+        cache, _latency = run_ops(op_list, capacity_pages=8, eviction=eviction)
+        assert cache.resident_bytes() <= 8 * PAGE
+
+    @given(ops)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_is_nonnegative_and_finite(self, op_list):
+        _cache, latency = run_ops(op_list)
+        assert latency >= 0
+        assert latency < 1e6
+
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_read_latency_at_least_ram_cost(self, op_list):
+        clock = SimClock()
+        cache = PageCache(clock=clock, capacity_bytes=8 * PAGE)
+        run_reads = [
+            (a, b) for op, a, b in op_list if op == "read"
+        ]
+        for a, b in run_reads:
+            latency = cache.read("f", a * PAGE, b * PAGE)
+            assert latency >= cache.cost_model.ram_read(b * PAGE) * 0.99
+
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_dirty_pages_subset_of_resident(self, op_list):
+        cache, _latency = run_ops(op_list)
+        assert cache.dirty_pages() <= cache.resident_bytes() // PAGE
+
+    @given(ops)
+    @settings(max_examples=40, deadline=None)
+    def test_flush_timer_eventually_cleans_everything(self, op_list):
+        cache, _latency = run_ops(op_list)
+        cache.clock.advance(10.0)  # beyond flush_timeout for all writes
+        assert cache.dirty_pages() == 0
+
+    @given(ops)
+    @settings(max_examples=30, deadline=None)
+    def test_counters_are_consistent(self, op_list):
+        cache, _latency = run_ops(op_list)
+        hits = cache.metrics.counter("pagecache.hits").value
+        misses = cache.metrics.counter("pagecache.misses").value
+        requested_pages = sum(b for op, _a, b in op_list if op == "read")
+        assert hits + misses == requested_pages

@@ -1,0 +1,106 @@
+"""Property-based tests: LsmStore behaves exactly like a dict."""
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.processing.store import LsmStore
+
+keys = st.text(alphabet="abcdefgh", min_size=1, max_size=3)
+values = st.one_of(st.integers(), st.text(max_size=5))
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, values),
+        st.tuples(st.just("delete"), keys, st.none()),
+    ),
+    max_size=120,
+)
+
+
+class TestAgainstDictModel:
+    @given(operations, st.integers(min_value=1, max_value=10))
+    @settings(max_examples=60, deadline=None)
+    def test_random_ops_match_model(self, ops, memtable_size):
+        store = LsmStore(memtable_max_entries=memtable_size, max_runs=2)
+        model: dict = {}
+        for op, key, value in ops:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+            assert store.get(key) == model.get(key)
+        for key in model:
+            assert store.get(key) == model[key]
+        assert dict(store.items()) == model
+        assert len(store) == len(model)
+
+    @given(operations, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_compaction_preserves_contents(self, ops, memtable_size):
+        store = LsmStore(memtable_max_entries=memtable_size, max_runs=3)
+        model: dict = {}
+        for op, key, value in ops:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        store.flush_memtable()
+        store.compact()
+        assert dict(store.items()) == model
+
+    @given(operations)
+    @settings(max_examples=30, deadline=None)
+    def test_contains_matches_model(self, ops):
+        store = LsmStore(memtable_max_entries=3, max_runs=2)
+        model: dict = {}
+        for op, key, value in ops:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            else:
+                store.delete(key)
+                model.pop(key, None)
+        for key in "abcdefgh":
+            assert (key in store) == (key in model)
+
+
+class LsmStateMachine(RuleBasedStateMachine):
+    """Stateful fuzz of the LSM store against a dict."""
+
+    def __init__(self):
+        super().__init__()
+        self.store = LsmStore(memtable_max_entries=4, max_runs=2)
+        self.model: dict = {}
+
+    @rule(key=keys, value=values)
+    def put(self, key, value):
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=keys)
+    def delete(self, key):
+        self.store.delete(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def flush(self):
+        self.store.flush_memtable()
+
+    @rule()
+    def compact(self):
+        self.store.flush_memtable()
+        self.store.compact()
+
+    @invariant()
+    def contents_match(self):
+        assert dict(self.store.items()) == self.model
+
+
+TestLsmStateMachine = LsmStateMachine.TestCase
+TestLsmStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,122 @@
+"""Property-based tests for transactional visibility.
+
+Invariant: under any interleaving of begin/send/commit/abort across several
+transactional producers, a read_committed consumer sees exactly the records
+of committed transactions, in log order, and never a marker or an aborted
+record.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.clock import SimClock
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.producer import Producer
+from repro.messaging.transactions import TransactionalProducer
+
+#: Schedule steps over two transactional producers (a, b) plus one plain
+#: producer (p): begin/send/commit/abort per txn producer, plain send.
+steps = st.lists(
+    st.sampled_from(
+        ["a.begin", "a.send", "a.commit", "a.abort",
+         "b.begin", "b.send", "b.commit", "b.abort",
+         "p.send"]
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def run_schedule(schedule):
+    cluster = MessagingCluster(num_brokers=1, clock=SimClock())
+    cluster.create_topic("t", num_partitions=1, replication_factor=1)
+    txn = {
+        "a": TransactionalProducer(cluster, "a"),
+        "b": TransactionalProducer(cluster, "b"),
+    }
+    plain = Producer(cluster)
+    counter = iter(range(10**9))
+    pending: dict[str, list[int]] = {"a": [], "b": []}
+    expected_committed: list[int] = []
+    sent_order: list[int] = []
+
+    for step in schedule:
+        who, action = step.split(".")
+        if who == "p":
+            value = next(counter)
+            plain.send("t", value, partition=0)
+            expected_committed.append(value)
+            sent_order.append(value)
+            continue
+        producer = txn[who]
+        open_now = producer.coordinator.is_open(producer.transactional_id)
+        if action == "begin" and not open_now:
+            producer.begin()
+        elif action == "send" and open_now:
+            value = next(counter)
+            producer.send("t", value, partition=0)
+            pending[who].append(value)
+            sent_order.append(value)
+        elif action == "commit" and open_now:
+            producer.commit()
+            expected_committed.extend(pending[who])
+            pending[who] = []
+        elif action == "abort" and open_now:
+            producer.abort()
+            pending[who] = []
+    # Close any open transactions so the LSO reaches the end.
+    for who, producer in txn.items():
+        if producer.coordinator.is_open(producer.transactional_id):
+            producer.abort()
+            pending[who] = []
+    return cluster, expected_committed, sent_order
+
+
+class TestVisibility:
+    @given(steps)
+    @settings(max_examples=60, deadline=None)
+    def test_read_committed_sees_exactly_committed_records(self, schedule):
+        cluster, expected, _sent = run_schedule(schedule)
+        result = cluster.fetch(
+            "t", 0, 0, max_messages=10_000, isolation="read_committed"
+        )
+        values = [r.value for r in result.records]
+        assert sorted(values) == sorted(expected)
+
+    @given(steps)
+    @settings(max_examples=60, deadline=None)
+    def test_committed_records_delivered_in_log_order(self, schedule):
+        cluster, expected, sent_order = run_schedule(schedule)
+        result = cluster.fetch(
+            "t", 0, 0, max_messages=10_000, isolation="read_committed"
+        )
+        values = [r.value for r in result.records]
+        # Log order == send order restricted to committed values.
+        assert values == [v for v in sent_order if v in set(expected)]
+
+    @given(steps)
+    @settings(max_examples=40, deadline=None)
+    def test_no_markers_leak_at_any_isolation(self, schedule):
+        cluster, _expected, _sent = run_schedule(schedule)
+        for isolation in ("read_uncommitted", "read_committed"):
+            result = cluster.fetch(
+                "t", 0, 0, max_messages=10_000, isolation=isolation
+            )
+            assert all("__ctrl" not in r.headers for r in result.records)
+
+    @given(steps)
+    @settings(max_examples=40, deadline=None)
+    def test_read_committed_is_subset_of_read_uncommitted(self, schedule):
+        cluster, _expected, _sent = run_schedule(schedule)
+        committed = {
+            r.offset
+            for r in cluster.fetch(
+                "t", 0, 0, max_messages=10_000, isolation="read_committed"
+            ).records
+        }
+        everything = {
+            r.offset
+            for r in cluster.fetch(
+                "t", 0, 0, max_messages=10_000, isolation="read_uncommitted"
+            ).records
+        }
+        assert committed <= everything

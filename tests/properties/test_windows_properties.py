@@ -1,0 +1,100 @@
+"""Property-based tests: windows partition event streams without loss."""
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.processing.windows import SessionWindow, TumblingWindow
+
+#: Per-key event streams with per-key non-decreasing timestamps (the
+#: guarantee keyed partitions give).
+event_streams = st.dictionaries(
+    keys=st.sampled_from(["a", "b", "c"]),
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ).map(sorted),
+    min_size=1,
+    max_size=3,
+)
+
+
+def interleave(streams):
+    """Merge per-key streams into one timestamp-ordered event list."""
+    events = [
+        (ts, key) for key, stamps in streams.items() for ts in stamps
+    ]
+    return sorted(events)
+
+
+class TestTumblingPartition:
+    @given(event_streams, st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_every_event_lands_in_exactly_one_window(self, streams, size):
+        window = TumblingWindow(size=size, init=lambda: 0, fold=lambda a, e: a + 1)
+        closed = []
+        for ts, key in interleave(streams):
+            closed.extend(window.add(key, ts, None))
+        closed.extend(window.flush())
+        total_events = sum(len(s) for s in streams.values())
+        assert sum(w.count for w in closed) == total_events
+
+    @given(event_streams, st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_windows_are_aligned_and_disjoint_per_key(self, streams, size):
+        window = TumblingWindow(size=size, init=lambda: 0, fold=lambda a, e: a + 1)
+        closed = []
+        for ts, key in interleave(streams):
+            closed.extend(window.add(key, ts, None))
+        closed.extend(window.flush())
+        per_key = defaultdict(list)
+        for result in closed:
+            width = result.window_end - result.window_start
+            assert abs(width - size) < 1e-9 * max(1.0, result.window_end)
+            per_key[result.key].append((result.window_start, result.window_end))
+        for intervals in per_key.values():
+            intervals.sort()
+            for (s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+                assert e1 <= s2 + 1e-9  # disjoint
+
+    @given(event_streams, st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_sum_preserved(self, streams, size):
+        window = TumblingWindow(size=size, init=lambda: 0.0, fold=lambda a, e: a + e)
+        closed = []
+        for ts, key in interleave(streams):
+            closed.extend(window.add(key, ts, ts))
+        closed.extend(window.flush())
+        total = sum(ts for stamps in streams.values() for ts in stamps)
+        assert abs(sum(w.value for w in closed) - total) < 1e-6
+
+
+class TestSessionPartition:
+    @given(event_streams, st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=60, deadline=None)
+    def test_every_event_in_exactly_one_session(self, streams, gap):
+        window = SessionWindow(gap=gap, init=lambda: 0, fold=lambda a, e: a + 1)
+        closed = []
+        for ts, key in interleave(streams):
+            closed.extend(window.add(key, ts, None))
+        closed.extend(window.expire_idle(1e9))
+        total_events = sum(len(s) for s in streams.values())
+        assert sum(w.count for w in closed) == total_events
+
+    @given(event_streams, st.floats(min_value=0.5, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_sessions_separated_by_more_than_gap(self, streams, gap):
+        window = SessionWindow(gap=gap, init=lambda: 0, fold=lambda a, e: a + 1)
+        closed = []
+        for ts, key in interleave(streams):
+            closed.extend(window.add(key, ts, None))
+        closed.extend(window.expire_idle(1e9))
+        per_key = defaultdict(list)
+        for result in closed:
+            assert result.window_end >= result.window_start
+            per_key[result.key].append((result.window_start, result.window_end))
+        for intervals in per_key.values():
+            intervals.sort()
+            for (_s1, e1), (s2, _e2) in zip(intervals, intervals[1:]):
+                assert s2 - e1 > gap

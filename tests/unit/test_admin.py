@@ -1,0 +1,124 @@
+"""Unit tests for the operational admin client (Figure 1's terminal)."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import TopicNotFoundError
+from repro.common.records import TopicPartition
+from repro.messaging.cluster import ACKS_ALL, MessagingCluster
+from repro.messaging.producer import Producer
+from repro.tools.admin import AdminClient
+
+
+def make_env(brokers=3):
+    cluster = MessagingCluster(num_brokers=brokers, clock=SimClock())
+    cluster.create_topic("t", num_partitions=2, replication_factor=3)
+    return cluster, AdminClient(cluster)
+
+
+class TestDescribe:
+    def test_describe_cluster_shape(self):
+        cluster, admin = make_env()
+        info = admin.describe_cluster()
+        assert info["brokers"] == 3
+        assert info["controller"] == 0
+        assert info["offline_partitions"] == 0
+
+    def test_describe_topic_partitions(self):
+        cluster, admin = make_env()
+        producer = Producer(cluster, acks=ACKS_ALL)
+        for i in range(10):
+            producer.send("t", i, partition=0)
+        infos = admin.describe_topic("t")
+        assert len(infos) == 2
+        p0 = infos[0]
+        assert p0.online
+        assert not p0.under_replicated
+        assert p0.high_watermark == 10
+        assert p0.log_end_offset == 10
+        assert sorted(p0.isr) == sorted(p0.replicas)
+
+    def test_unknown_topic_rejected(self):
+        _cluster, admin = make_env()
+        with pytest.raises(TopicNotFoundError):
+            admin.describe_topic("ghost")
+
+    def test_under_replication_detected(self):
+        cluster, admin = make_env()
+        victim = [b for b in range(3) if b != cluster.leader_of("t", 0)][0]
+        cluster.kill_broker(victim)
+        under = admin.under_replicated_partitions()
+        assert TopicPartition("t", 0) in under
+
+    def test_format_topic_mentions_state(self):
+        cluster, admin = make_env()
+        text = admin.format_topic("t")
+        assert "Topic: t" in text
+        assert "ONLINE" in text
+
+
+class TestConsumerLag:
+    def test_lag_computed_from_commits(self):
+        cluster, admin = make_env()
+        producer = Producer(cluster, acks=ACKS_ALL)
+        for i in range(20):
+            producer.send("t", i, partition=0)
+        tp = TopicPartition("t", 0)
+        cluster.offset_manager.commit("dashboard", tp, 5)
+        lags = admin.consumer_lag("dashboard")
+        assert len(lags) == 1
+        assert lags[0].lag == 15
+
+    def test_all_group_lags(self):
+        cluster, admin = make_env()
+        producer = Producer(cluster, acks=ACKS_ALL)
+        for i in range(10):
+            producer.send("t", i, partition=0)
+        tp = TopicPartition("t", 0)
+        cluster.offset_manager.commit("fast", tp, 10)
+        cluster.offset_manager.commit("slow", tp, 2)
+        lags = admin.all_group_lags()
+        assert lags["fast"] == 0
+        assert lags["slow"] == 8
+
+
+class TestHealth:
+    def test_healthy_cluster(self):
+        _cluster, admin = make_env()
+        report = admin.health_check()
+        assert report.healthy
+        assert "HEALTHY" in admin.format_health(report)
+
+    def test_broker_loss_degrades(self):
+        cluster, admin = make_env()
+        cluster.kill_broker(2)
+        report = admin.health_check()
+        assert not report.healthy
+        assert report.live_brokers == 2
+        assert report.under_replicated
+
+    def test_offline_partition_flagged(self):
+        cluster = MessagingCluster(num_brokers=1, clock=SimClock())
+        cluster.create_topic("solo", replication_factor=1)
+        admin = AdminClient(cluster)
+        cluster.kill_broker(0)
+        report = admin.health_check()
+        assert TopicPartition("solo", 0) in report.offline_partitions
+        assert "DEGRADED" in admin.format_health(report)
+
+    def test_lagging_group_flagged(self):
+        cluster, admin = make_env()
+        producer = Producer(cluster, acks=ACKS_ALL)
+        for i in range(50):
+            producer.send("t", i, partition=0)
+        tp = TopicPartition("t", 0)
+        cluster.offset_manager.commit("sleepy", tp, 0)
+        report = admin.health_check(max_group_lag=10)
+        assert any(l.group == "sleepy" for l in report.lagging_groups)
+
+    def test_recovery_restores_health(self):
+        cluster, admin = make_env()
+        cluster.kill_broker(2)
+        cluster.restart_broker(2)
+        cluster.run_until_replicated()
+        assert admin.health_check().healthy

@@ -1,0 +1,69 @@
+"""Unit tests for the rewindability helpers (§3.1, §4.2)."""
+
+from repro.common.clock import SimClock
+from repro.common.records import TopicPartition
+from repro.core.annotations import (
+    annotate_positions,
+    offsets_at_time,
+    offsets_committed_before,
+    offsets_for_version,
+)
+from repro.messaging.cluster import MessagingCluster
+
+
+def make_cluster() -> tuple[SimClock, MessagingCluster]:
+    clock = SimClock()
+    cluster = MessagingCluster(num_brokers=1, clock=clock)
+    cluster.create_topic("t", num_partitions=2, replication_factor=1)
+    for partition in range(2):
+        for i in range(10):
+            cluster.produce("t", partition, [(None, i, float(i), {})])
+    return clock, cluster
+
+
+class TestTimeRewind:
+    def test_offsets_at_time(self):
+        _clock, cluster = make_cluster()
+        offsets = offsets_at_time(cluster, "t", 4.5)
+        assert offsets == {
+            TopicPartition("t", 0): 5,
+            TopicPartition("t", 1): 5,
+        }
+
+    def test_future_time_maps_to_end(self):
+        _clock, cluster = make_cluster()
+        offsets = offsets_at_time(cluster, "t", 1e9)
+        assert all(o == 10 for o in offsets.values())
+
+
+class TestVersionRewind:
+    def test_offsets_for_version(self):
+        _clock, cluster = make_cluster()
+        tp0 = TopicPartition("t", 0)
+        cluster.offset_manager.commit("g", tp0, 4, {"software_version": "v1"})
+        cluster.offset_manager.commit("g", tp0, 7, {"software_version": "v2"})
+        offsets = offsets_for_version(cluster, "g", "t", "v1")
+        assert offsets[tp0] == 4
+        assert offsets[TopicPartition("t", 1)] is None
+
+
+class TestCommitTimeRewind:
+    def test_offsets_committed_before(self):
+        clock, cluster = make_cluster()
+        tp0 = TopicPartition("t", 0)
+        cluster.offset_manager.commit("g", tp0, 2)
+        clock.advance(10.0)
+        cluster.offset_manager.commit("g", tp0, 8)
+        offsets = offsets_committed_before(cluster, "g", "t", clock.now() - 5.0)
+        assert offsets[tp0] == 2
+
+
+class TestAnnotate:
+    def test_annotate_positions_roundtrip(self):
+        _clock, cluster = make_cluster()
+        tp0, tp1 = TopicPartition("t", 0), TopicPartition("t", 1)
+        annotate_positions(
+            cluster, "g", {tp0: 3, tp1: 6}, {"software_version": "v5"}
+        )
+        offsets = offsets_for_version(cluster, "g", "t", "v5")
+        assert offsets == {tp0: 3, tp1: 6}

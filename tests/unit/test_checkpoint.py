@@ -1,0 +1,51 @@
+"""Unit tests for the checkpoint manager."""
+
+from repro.common.clock import SimClock
+from repro.common.records import TopicPartition
+from repro.messaging.offset_manager import OffsetManager
+from repro.processing.checkpoint import CheckpointManager, job_group_name
+
+TP_A = TopicPartition("a", 0)
+TP_B = TopicPartition("b", 0)
+
+
+def make_manager() -> CheckpointManager:
+    return CheckpointManager(OffsetManager(SimClock()), "cleaner")
+
+
+class TestGroupNaming:
+    def test_group_name_convention(self):
+        assert job_group_name("cleaner") == "job-cleaner"
+
+
+class TestCommitFetch:
+    def test_commit_all_positions(self):
+        manager = make_manager()
+        manager.commit({TP_A: 5, TP_B: 9})
+        assert manager.fetch(TP_A).offset == 5
+        assert manager.fetch(TP_B).offset == 9
+
+    def test_fetch_all(self):
+        manager = make_manager()
+        manager.commit({TP_A: 5, TP_B: 9})
+        everything = manager.fetch_all()
+        assert set(everything) == {TP_A, TP_B}
+
+    def test_unknown_partition_none(self):
+        assert make_manager().fetch(TP_A) is None
+
+    def test_metadata_attached(self):
+        manager = make_manager()
+        manager.commit({TP_A: 3}, {"software_version": "v2"})
+        assert manager.fetch(TP_A).metadata["software_version"] == "v2"
+
+
+class TestVersionQuery:
+    def test_position_for_version(self):
+        manager = make_manager()
+        manager.commit({TP_A: 3}, {"software_version": "v1"})
+        manager.commit({TP_A: 8}, {"software_version": "v1"})
+        manager.commit({TP_A: 12}, {"software_version": "v2"})
+        assert manager.position_for_version(TP_A, "v1").offset == 8
+        assert manager.position_for_version(TP_A, "v2").offset == 12
+        assert manager.position_for_version(TP_A, "v3") is None

@@ -1,0 +1,158 @@
+"""Unit tests for the simulated clock and timer queue."""
+
+import pytest
+
+from repro.common.clock import SimClock
+
+
+class TestNow:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert SimClock(start=100.0).now() == 100.0
+
+    def test_advance_moves_time(self):
+        clock = SimClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.advance(0.5)
+        assert clock.now() == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_backwards_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.advance_to(5.0)
+
+
+class TestTimers:
+    def test_timer_fires_at_deadline(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5.0, fired.append, "a")
+        clock.advance(4.9)
+        assert fired == []
+        clock.advance(0.2)
+        assert fired == ["a"]
+
+    def test_timer_observes_its_own_instant(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(3.0, lambda: seen.append(clock.now()))
+        clock.advance(10.0)
+        assert seen == [3.0]
+        assert clock.now() == 10.0
+
+    def test_timers_fire_in_time_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(2.0, order.append, 2)
+        clock.schedule(1.0, order.append, 1)
+        clock.schedule(3.0, order.append, 3)
+        clock.advance(5.0)
+        assert order == [1, 2, 3]
+
+    def test_same_instant_fires_in_schedule_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(1.0, order.append, "first")
+        clock.schedule(1.0, order.append, "second")
+        clock.advance(1.0)
+        assert order == ["first", "second"]
+
+    def test_cancelled_timer_does_not_fire(self):
+        clock = SimClock()
+        fired = []
+        handle = clock.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        clock.advance(2.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        clock = SimClock()
+        handle = clock.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+
+    def test_callback_may_schedule_more_timers(self):
+        clock = SimClock()
+        fired = []
+
+        def chain():
+            fired.append("a")
+            clock.schedule(1.0, fired.append, "b")
+
+        clock.schedule(1.0, chain)
+        clock.advance(3.0)
+        assert fired == ["a", "b"]
+
+    def test_chained_timer_beyond_window_waits(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(1.0, lambda: clock.schedule(5.0, fired.append, "late"))
+        clock.advance(2.0)
+        assert fired == []
+        clock.advance(4.0)
+        assert fired == ["late"]
+
+    def test_zero_delay_fires_on_run_pending(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(0.0, fired.append, "now")
+        clock.run_pending()
+        assert fired == ["now"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute(self):
+        clock = SimClock(start=10.0)
+        fired = []
+        clock.schedule_at(12.0, fired.append, "abs")
+        clock.advance(1.0)
+        assert fired == []
+        clock.advance(1.0)
+        assert fired == ["abs"]
+
+    def test_schedule_at_past_rejected(self):
+        clock = SimClock(start=10.0)
+        with pytest.raises(ValueError):
+            clock.schedule_at(9.0, lambda: None)
+
+    def test_advance_returns_fired_count(self):
+        clock = SimClock()
+        clock.schedule(1.0, lambda: None)
+        clock.schedule(2.0, lambda: None)
+        assert clock.advance(5.0) == 2
+
+    def test_next_deadline(self):
+        clock = SimClock()
+        assert clock.next_deadline() is None
+        clock.schedule(3.0, lambda: None)
+        handle = clock.schedule(1.0, lambda: None)
+        assert clock.next_deadline() == 1.0
+        handle.cancel()
+        assert clock.next_deadline() == 3.0
+
+    def test_pending_timers_excludes_cancelled(self):
+        clock = SimClock()
+        clock.schedule(1.0, lambda: None)
+        handle = clock.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert clock.pending_timers() == 1
+
+    def test_timer_args_passed_through(self):
+        clock = SimClock()
+        got = []
+        clock.schedule(1.0, lambda a, b: got.append((a, b)), 1, "two")
+        clock.advance(1.0)
+        assert got == [(1, "two")]

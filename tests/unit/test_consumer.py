@@ -1,0 +1,229 @@
+"""Unit tests for the consumer client."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.common.records import TopicPartition
+from repro.messaging.cluster import ACKS_ALL, MessagingCluster
+from repro.messaging.consumer import Consumer
+from repro.messaging.consumer_group import GroupCoordinator
+from repro.messaging.producer import Producer
+from repro.storage.log import LogConfig
+from repro.storage.retention import RetentionConfig
+from repro.messaging.topic import TopicConfig
+
+
+def setup_cluster(partitions=2, n=20):
+    clock = SimClock()
+    cluster = MessagingCluster(num_brokers=3, clock=clock)
+    cluster.create_topic("t", num_partitions=partitions, replication_factor=3)
+    producer = Producer(cluster, acks=ACKS_ALL)
+    for i in range(n):
+        producer.send("t", {"i": i}, key=f"k{i % 5}", timestamp=float(i))
+    return clock, cluster
+
+
+class TestManualAssign:
+    def test_assign_and_poll_all(self):
+        _clock, cluster = setup_cluster()
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_of("t"))
+        got = []
+        while True:
+            batch = consumer.poll(100)
+            if not batch:
+                break
+            got.extend(batch)
+        assert len(got) == 20
+        assert consumer.records_consumed == 20
+
+    def test_assign_after_group_rejected(self):
+        _clock, cluster = setup_cluster()
+        gc = GroupCoordinator(cluster)
+        consumer = Consumer(cluster, group="g", group_coordinator=gc)
+        with pytest.raises(ConfigError):
+            consumer.assign(cluster.partitions_of("t"))
+
+    def test_per_partition_order_preserved(self):
+        _clock, cluster = setup_cluster(partitions=3, n=30)
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_of("t"))
+        per_partition: dict[int, list[int]] = {}
+        while True:
+            batch = consumer.poll(7)
+            if not batch:
+                break
+            for record in batch:
+                per_partition.setdefault(record.partition, []).append(record.offset)
+        for offsets in per_partition.values():
+            assert offsets == sorted(offsets)
+
+    def test_round_robin_avoids_starvation(self):
+        _clock, cluster = setup_cluster(partitions=2, n=40)
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_of("t"))
+        first = consumer.poll(5)
+        second = consumer.poll(5)
+        touched = {r.partition for r in first + second}
+        assert touched == {0, 1}
+
+
+class TestSeek:
+    def test_seek_and_position(self):
+        _clock, cluster = setup_cluster(partitions=1)
+        tp = TopicPartition("t", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        consumer.seek(tp, 15)
+        assert consumer.position(tp) == 15
+        batch = consumer.poll(100)
+        assert batch[0].offset == 15
+
+    def test_seek_to_beginning_and_end(self):
+        _clock, cluster = setup_cluster(partitions=1)
+        tp = TopicPartition("t", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        consumer.seek_to_end(tp)
+        assert consumer.poll(10) == []
+        consumer.seek_to_beginning(tp)
+        assert consumer.poll(1)[0].offset == 0
+
+    def test_seek_to_timestamp(self):
+        _clock, cluster = setup_cluster(partitions=1)
+        tp = TopicPartition("t", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        offset = consumer.seek_to_timestamp(tp, 10.0)
+        assert offset == 10
+        assert consumer.poll(1)[0].timestamp == 10.0
+
+    def test_seek_to_timestamp_past_end(self):
+        _clock, cluster = setup_cluster(partitions=1)
+        tp = TopicPartition("t", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        offset = consumer.seek_to_timestamp(tp, 1e9)
+        assert offset == cluster.end_offset(tp)
+
+    def test_seek_unassigned_rejected(self):
+        _clock, cluster = setup_cluster()
+        consumer = Consumer(cluster)
+        with pytest.raises(ConfigError):
+            consumer.seek(TopicPartition("t", 0), 0)
+
+
+class TestGroupFlow:
+    def test_subscribe_requires_coordinator(self):
+        _clock, cluster = setup_cluster()
+        with pytest.raises(ConfigError):
+            Consumer(cluster, group="g")
+
+    def test_commit_and_resume(self):
+        _clock, cluster = setup_cluster(partitions=1)
+        gc = GroupCoordinator(cluster)
+        consumer = Consumer(cluster, group="g", group_coordinator=gc)
+        consumer.subscribe(["t"])
+        consumer.poll(8)
+        consumer.commit()
+        consumer.close()
+
+        fresh = Consumer(cluster, group="g", group_coordinator=gc)
+        fresh.subscribe(["t"])
+        batch = fresh.poll(100)
+        assert batch[0].offset == 8
+
+    def test_commit_metadata_visible(self):
+        _clock, cluster = setup_cluster(partitions=1)
+        gc = GroupCoordinator(cluster)
+        consumer = Consumer(cluster, group="g", group_coordinator=gc)
+        consumer.subscribe(["t"])
+        consumer.poll(5)
+        consumer.commit({"software_version": "v7"})
+        tp = TopicPartition("t", 0)
+        commit = cluster.offset_manager.offset_for_annotation(
+            "g", tp, "software_version", "v7"
+        )
+        assert commit is not None
+        assert commit.offset == consumer.position(tp)
+
+    def test_committed(self):
+        _clock, cluster = setup_cluster(partitions=1)
+        gc = GroupCoordinator(cluster)
+        consumer = Consumer(cluster, group="g", group_coordinator=gc)
+        consumer.subscribe(["t"])
+        assert consumer.committed(TopicPartition("t", 0)) is None
+        consumer.poll(3)
+        consumer.commit()
+        assert consumer.committed(TopicPartition("t", 0)) == 3
+
+    def test_rebalance_detected_on_poll(self):
+        _clock, cluster = setup_cluster(partitions=2)
+        gc = GroupCoordinator(cluster)
+        first = Consumer(cluster, group="g", group_coordinator=gc)
+        first.subscribe(["t"])
+        assert len(first.assignment()) == 2
+        second = Consumer(cluster, group="g", group_coordinator=gc)
+        second.subscribe(["t"])
+        first.poll(1)  # notices the generation bump
+        assert len(first.assignment()) == 1
+        assert len(second.assignment()) == 1
+
+    def test_close_triggers_rebalance(self):
+        _clock, cluster = setup_cluster(partitions=2)
+        gc = GroupCoordinator(cluster)
+        a = Consumer(cluster, group="g", group_coordinator=gc)
+        b = Consumer(cluster, group="g", group_coordinator=gc)
+        a.subscribe(["t"])
+        b.subscribe(["t"])
+        b.close()
+        a.poll(1)
+        assert len(a.assignment()) == 2
+
+    def test_closed_consumer_rejects_poll(self):
+        _clock, cluster = setup_cluster()
+        consumer = Consumer(cluster)
+        consumer.assign(cluster.partitions_of("t"))
+        consumer.close()
+        with pytest.raises(ConfigError):
+            consumer.poll()
+
+
+class TestAutoOffsetReset:
+    def test_latest_starts_at_end(self):
+        _clock, cluster = setup_cluster(partitions=1)
+        consumer = Consumer(cluster, auto_offset_reset="latest")
+        consumer.assign([TopicPartition("t", 0)])
+        assert consumer.poll(10) == []
+
+    def test_invalid_policy_rejected(self):
+        _clock, cluster = setup_cluster()
+        with pytest.raises(ConfigError):
+            Consumer(cluster, auto_offset_reset="nearest")
+
+    def test_position_reset_after_retention(self):
+        clock = SimClock()
+        cluster = MessagingCluster(num_brokers=1, clock=clock)
+        cluster.create_topic(
+            TopicConfig(
+                name="t",
+                replication_factor=1,
+                retention=RetentionConfig(retention_seconds=1.0),
+                log=LogConfig(segment_max_messages=5),
+            )
+        )
+        producer = Producer(cluster)
+        for i in range(20):
+            producer.send("t", i)
+        tp = TopicPartition("t", 0)
+        consumer = Consumer(cluster)
+        consumer.assign([tp])
+        # Retention fires and deletes old segments under the consumer.
+        clock.advance(100.0)
+        cluster.broker(0).run_retention()
+        assert cluster.beginning_offset(tp) > 0
+        batch = consumer.poll(5)  # first poll resets, second reads
+        if not batch:
+            batch = consumer.poll(5)
+        assert batch[0].offset == cluster.beginning_offset(tp)

@@ -1,0 +1,166 @@
+"""Unit tests for container-based resource isolation (§4.4)."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError, QuotaExceededError
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.producer import Producer
+from repro.processing.containers import IsolatedHost, ResourceQuota
+from repro.processing.job import JobConfig, JobRunner, StoreConfig
+
+
+class NoopTask:
+    def process(self, record, collector):
+        pass
+
+
+class HoardTask:
+    """Accumulates every record into state (memory hog)."""
+
+    def init(self, context):
+        self.store = context.store("hoard")
+
+    def process(self, record, collector):
+        self.store.put(record.offset, record.value)
+
+
+def make_env(jobs=("a", "b"), backlog=(100, 100), cpu_cost=1e-3):
+    clock = SimClock()
+    cluster = MessagingCluster(num_brokers=1, clock=clock)
+    producer = Producer(cluster)
+    runners = []
+    for name, n in zip(jobs, backlog):
+        cluster.create_topic(f"in-{name}", num_partitions=1, replication_factor=1)
+        for i in range(n):
+            producer.send(f"in-{name}", {"i": i})
+        runners.append(
+            JobRunner(
+                JobConfig(
+                    name=name, inputs=[f"in-{name}"], task_factory=NoopTask,
+                    cpu_cost_per_message=cpu_cost,
+                ),
+                cluster,
+            )
+        )
+    return clock, cluster, runners
+
+
+class TestQuotaValidation:
+    def test_invalid_quota_rejected(self):
+        with pytest.raises(ConfigError):
+            ResourceQuota(cpu_cores=0)
+        with pytest.raises(ConfigError):
+            ResourceQuota(memory_bytes=0)
+
+    def test_overcommit_rejected_with_isolation(self):
+        _clock, _cluster, runners = make_env()
+        host = IsolatedHost(cores=1, isolation=True)
+        host.add_job(runners[0], ResourceQuota(cpu_cores=0.8))
+        with pytest.raises(ConfigError):
+            host.add_job(runners[1], ResourceQuota(cpu_cores=0.5))
+
+    def test_overcommit_allowed_without_isolation(self):
+        _clock, _cluster, runners = make_env()
+        host = IsolatedHost(cores=1, isolation=False)
+        host.add_job(runners[0], ResourceQuota(cpu_cores=0.8))
+        host.add_job(runners[1], ResourceQuota(cpu_cores=0.8))
+
+    def test_duplicate_job_rejected(self):
+        _clock, _cluster, runners = make_env(jobs=("a",), backlog=(10,))
+        host = IsolatedHost(cores=2)
+        host.add_job(runners[0], ResourceQuota())
+        with pytest.raises(ConfigError):
+            host.add_job(runners[0], ResourceQuota())
+
+
+class TestCpuScheduling:
+    def test_isolation_caps_each_job_at_quota(self):
+        _clock, _cluster, runners = make_env(backlog=(1000, 1000))
+        host = IsolatedHost(cores=2, isolation=True)
+        host.add_job(runners[0], ResourceQuota(cpu_cores=1.0))
+        host.add_job(runners[1], ResourceQuota(cpu_cores=1.0))
+        report = host.run_quantum(dt=0.1)
+        # Each job: 1 core * 0.1s / 1e-3 per msg = 100 messages.
+        assert report.processed["a"] == 100
+        assert report.processed["b"] == 100
+
+    def test_hog_starves_victim_without_isolation(self):
+        """§4.4's failure mode: demand-proportional sharing."""
+        _clock, _cluster, runners = make_env(backlog=(1900, 100))
+        host = IsolatedHost(cores=1, isolation=False)
+        host.add_job(runners[0], ResourceQuota(cpu_cores=0.5))  # hog
+        host.add_job(runners[1], ResourceQuota(cpu_cores=0.5))  # victim
+        report = host.run_quantum(dt=0.1)
+        # Capacity is 100 msgs worth; hog demands 19x the victim.
+        assert report.processed["a"] > 9 * report.processed["b"]
+
+    def test_isolation_protects_victim_from_hog(self):
+        _clock, _cluster, runners = make_env(backlog=(1900, 100))
+        host = IsolatedHost(cores=1, isolation=True)
+        host.add_job(runners[0], ResourceQuota(cpu_cores=0.5))
+        host.add_job(runners[1], ResourceQuota(cpu_cores=0.5))
+        report = host.run_quantum(dt=0.1)
+        assert report.processed["b"] == 50  # its full quota, hog or not
+
+    def test_idle_job_gets_nothing(self):
+        _clock, _cluster, runners = make_env(backlog=(0, 50))
+        host = IsolatedHost(cores=2, isolation=True)
+        host.add_job(runners[0], ResourceQuota(cpu_cores=1.0))
+        host.add_job(runners[1], ResourceQuota(cpu_cores=1.0))
+        report = host.run_quantum(dt=0.1)
+        assert report.allocations["a"] == 0.0
+        assert report.processed["b"] > 0
+
+    def test_quantum_advances_clock(self):
+        clock, _cluster, runners = make_env()
+        host = IsolatedHost(cores=2)
+        host.add_job(runners[0], ResourceQuota(cpu_cores=1.0))
+        before = clock.now()
+        host.run_quantum(dt=0.25)
+        assert clock.now() == pytest.approx(before + 0.25)
+
+    def test_run_quanta_drains_backlog(self):
+        _clock, _cluster, runners = make_env(backlog=(100, 0))
+        host = IsolatedHost(cores=1, isolation=True)
+        host.add_job(runners[0], ResourceQuota(cpu_cores=0.9))
+        host.add_job(runners[1], ResourceQuota(cpu_cores=0.1))
+        host.run_quanta(20, dt=0.1)
+        assert runners[0].backlog() == 0
+
+
+class TestMemoryEnforcement:
+    def _memory_env(self):
+        clock = SimClock()
+        cluster = MessagingCluster(num_brokers=1, clock=clock)
+        cluster.create_topic("in-m", num_partitions=1, replication_factor=1)
+        producer = Producer(cluster)
+        for i in range(50):
+            producer.send("in-m", {"payload": "x" * 100})
+        runner = JobRunner(
+            JobConfig(
+                name="m", inputs=["in-m"], task_factory=HoardTask,
+                stores=[StoreConfig("hoard", changelog=False)],
+                cpu_cost_per_message=1e-4,
+            ),
+            cluster,
+        )
+        return runner
+
+    def test_soft_enforcement_counts_violations(self):
+        runner = self._memory_env()
+        host = IsolatedHost(cores=1, memory_enforcement="soft")
+        host.add_job(runner, ResourceQuota(cpu_cores=1.0, memory_bytes=100))
+        host.run_quanta(5, dt=0.1)
+        assert host.memory_violations("m") > 0
+
+    def test_hard_enforcement_raises(self):
+        runner = self._memory_env()
+        host = IsolatedHost(cores=1, memory_enforcement="hard")
+        host.add_job(runner, ResourceQuota(cpu_cores=1.0, memory_bytes=100))
+        with pytest.raises(QuotaExceededError):
+            host.run_quanta(5, dt=0.1)
+
+    def test_invalid_enforcement_rejected(self):
+        with pytest.raises(ConfigError):
+            IsolatedHost(memory_enforcement="medium")

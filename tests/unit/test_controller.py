@@ -1,0 +1,205 @@
+"""Unit tests for the cluster controller (leader election, ISR)."""
+
+import pytest
+
+from repro.cluster.controller import ClusterController
+from repro.cluster.coordinator import Coordinator
+from repro.common.errors import ConfigError, NoNodeError
+from repro.common.records import TopicPartition
+
+TP = TopicPartition("t", 0)
+
+
+def controller_with_brokers(n=3, **kwargs) -> ClusterController:
+    controller = ClusterController(Coordinator(), **kwargs)
+    for broker_id in range(n):
+        controller.register_broker(broker_id)
+    return controller
+
+
+class TestMembership:
+    def test_register_tracks_liveness(self):
+        controller = controller_with_brokers(3)
+        assert controller.live_brokers() == {0, 1, 2}
+
+    def test_duplicate_registration_rejected(self):
+        controller = controller_with_brokers(1)
+        with pytest.raises(ConfigError):
+            controller.register_broker(0)
+
+    def test_first_broker_becomes_controller(self):
+        controller = controller_with_brokers(3)
+        assert controller.controller_id == 0
+
+    def test_controller_failover(self):
+        controller = controller_with_brokers(3)
+        controller.broker_failed(0)
+        assert controller.controller_id == 1
+
+    def test_unknown_broker_failure_is_noop(self):
+        controller = controller_with_brokers(2)
+        assert controller.broker_failed(99) == []
+
+
+class TestPartitionLifecycle:
+    def test_create_partition_assigns_leader_and_isr(self):
+        controller = controller_with_brokers(3)
+        state = controller.create_partition(TP, [1, 2, 0])
+        assert state.leader == 1  # preferred replica = first
+        assert state.isr == [1, 2, 0]
+        assert state.epoch == 1
+
+    def test_duplicate_partition_rejected(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0])
+        with pytest.raises(ConfigError):
+            controller.create_partition(TP, [1])
+
+    def test_empty_or_duplicate_replicas_rejected(self):
+        controller = controller_with_brokers(3)
+        with pytest.raises(ConfigError):
+            controller.create_partition(TP, [])
+        with pytest.raises(ConfigError):
+            controller.create_partition(TP, [0, 0])
+
+    def test_dead_replicas_rejected(self):
+        controller = controller_with_brokers(2)
+        with pytest.raises(ConfigError):
+            controller.create_partition(TP, [0, 7])
+
+    def test_unknown_partition_queries_rejected(self):
+        controller = controller_with_brokers(1)
+        with pytest.raises(NoNodeError):
+            controller.leader_for(TP)
+
+
+class TestFailover:
+    def test_leader_death_promotes_isr_member(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1, 2])
+        affected = controller.broker_failed(0)
+        assert TP in affected
+        assert controller.leader_for(TP) == 1
+        assert controller.epoch_for(TP) == 2
+        assert 0 not in controller.isr_for(TP)
+
+    def test_follower_death_only_shrinks_isr(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1, 2])
+        controller.broker_failed(2)
+        assert controller.leader_for(TP) == 0
+        assert controller.isr_for(TP) == [0, 1]
+
+    def test_n_minus_one_failures_tolerated(self):
+        """§4.3: N brokers in the ISR tolerate N-1 failures."""
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1, 2])
+        controller.broker_failed(0)
+        controller.broker_failed(1)
+        assert controller.leader_for(TP) == 2
+        assert controller.isr_for(TP) == [2]
+
+    def test_all_replicas_dead_goes_offline(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1])
+        controller.broker_failed(0)
+        controller.broker_failed(1)
+        assert controller.leader_for(TP) is None
+        assert controller.offline_partitions() == [TP]
+
+    def test_epoch_increases_monotonically(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1, 2])
+        epochs = [controller.epoch_for(TP)]
+        controller.broker_failed(0)
+        epochs.append(controller.epoch_for(TP))
+        controller.broker_failed(1)
+        epochs.append(controller.epoch_for(TP))
+        assert epochs == sorted(epochs)
+        assert len(set(epochs)) == 3
+
+
+class TestUncleanElection:
+    def test_clean_mode_stays_offline_without_isr(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1])
+        # Shrink follower 1 out of the ISR, then kill the leader: no ISR left.
+        controller.shrink_isr(TP, 1)
+        controller.broker_failed(0)
+        assert controller.leader_for(TP) is None
+
+    def test_unclean_mode_elects_any_live_replica(self):
+        controller = controller_with_brokers(3, allow_unclean_election=True)
+        controller.create_partition(TP, [0, 1])
+        controller.shrink_isr(TP, 1)
+        controller.broker_failed(0)
+        assert controller.leader_for(TP) == 1  # out-of-sync but available
+
+
+class TestRecovery:
+    def test_recovered_broker_is_live_again(self):
+        controller = controller_with_brokers(3)
+        controller.broker_failed(2)
+        controller.broker_recovered(2)
+        assert 2 in controller.live_brokers()
+
+    def test_offline_partition_restored_by_isr_member(self):
+        controller = controller_with_brokers(2)
+        controller.create_partition(TP, [0])
+        controller.broker_failed(0)
+        assert controller.leader_for(TP) is None
+        controller.broker_recovered(0)
+        assert controller.leader_for(TP) == 0
+
+
+class TestIsrMaintenance:
+    def test_shrink_and_expand(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1, 2])
+        assert controller.shrink_isr(TP, 2) == [0, 1]
+        assert controller.expand_isr(TP, 2) == [0, 1, 2]
+
+    def test_shrink_leader_rejected(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1])
+        with pytest.raises(ConfigError):
+            controller.shrink_isr(TP, 0)
+
+    def test_expand_non_replica_rejected(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1])
+        with pytest.raises(ConfigError):
+            controller.expand_isr(TP, 2)
+
+    def test_expand_dead_broker_rejected(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1, 2])
+        controller.broker_failed(2)
+        with pytest.raises(ConfigError):
+            controller.expand_isr(TP, 2)
+
+    def test_shrink_is_idempotent(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1, 2])
+        controller.shrink_isr(TP, 2)
+        assert controller.shrink_isr(TP, 2) == [0, 1]
+
+
+class TestListeners:
+    def test_leadership_listener_called(self):
+        controller = controller_with_brokers(3)
+        seen = []
+        controller.on_leadership_change(
+            lambda tp, leader, epoch, isr: seen.append((tp, leader, epoch))
+        )
+        controller.create_partition(TP, [0, 1])
+        controller.broker_failed(0)
+        assert seen == [(TP, 0, 1), (TP, 1, 2)]
+
+    def test_isr_listener_called(self):
+        controller = controller_with_brokers(3)
+        controller.create_partition(TP, [0, 1, 2])
+        seen = []
+        controller.on_isr_change(lambda tp, isr: seen.append(list(isr)))
+        controller.shrink_isr(TP, 2)
+        assert seen == [[0, 1]]

@@ -1,0 +1,181 @@
+"""Unit tests for the ZooKeeper-like coordinator."""
+
+import pytest
+
+from repro.cluster.coordinator import (
+    EVENT_CHANGED,
+    EVENT_CHILD,
+    EVENT_CREATED,
+    EVENT_DELETED,
+    Coordinator,
+)
+from repro.common.errors import (
+    NodeExistsError,
+    NoNodeError,
+    SessionExpiredError,
+)
+
+
+class TestNamespace:
+    def test_create_and_get(self):
+        coord = Coordinator()
+        coord.create("/a", data={"x": 1})
+        assert coord.get("/a") == {"x": 1}
+
+    def test_duplicate_create_rejected(self):
+        coord = Coordinator()
+        coord.create("/a")
+        with pytest.raises(NodeExistsError):
+            coord.create("/a")
+
+    def test_missing_parent_rejected(self):
+        coord = Coordinator()
+        with pytest.raises(NoNodeError):
+            coord.create("/a/b/c")
+
+    def test_make_parents(self):
+        coord = Coordinator()
+        coord.create("/a/b/c", make_parents=True)
+        assert coord.exists("/a")
+        assert coord.exists("/a/b")
+        assert coord.children("/a") == ["/a/b"]
+
+    def test_delete(self):
+        coord = Coordinator()
+        coord.create("/a")
+        coord.delete("/a")
+        assert not coord.exists("/a")
+
+    def test_delete_missing_rejected(self):
+        with pytest.raises(NoNodeError):
+            Coordinator().delete("/nope")
+
+    def test_delete_cascades_to_children(self):
+        coord = Coordinator()
+        coord.create("/a/b/c", make_parents=True)
+        coord.delete("/a")
+        assert not coord.exists("/a/b/c")
+
+    def test_set_data_bumps_version(self):
+        coord = Coordinator()
+        coord.create("/a", data=1)
+        assert coord.version("/a") == 0
+        assert coord.set_data("/a", 2) == 1
+        assert coord.get("/a") == 2
+
+    def test_children_sorted(self):
+        coord = Coordinator()
+        coord.create("/p")
+        coord.create("/p/b")
+        coord.create("/p/a")
+        assert coord.children("/p") == ["/p/a", "/p/b"]
+
+    def test_invalid_path_rejected(self):
+        coord = Coordinator()
+        with pytest.raises(NoNodeError):
+            coord.create("no-slash")
+        with pytest.raises(NoNodeError):
+            coord.create("/trailing/")
+
+    def test_sequential_nodes_unique_and_ordered(self):
+        coord = Coordinator()
+        coord.create("/q")
+        first = coord.create("/q/n-", sequential=True)
+        second = coord.create("/q/n-", sequential=True)
+        assert first != second
+        assert sorted([first, second]) == [first, second]
+
+
+class TestSessions:
+    def test_ephemeral_requires_session(self):
+        coord = Coordinator()
+        with pytest.raises(SessionExpiredError):
+            coord.create("/e", ephemeral=True)
+
+    def test_expiry_deletes_ephemerals(self):
+        coord = Coordinator()
+        session = coord.connect("broker-1")
+        coord.create("/e1", ephemeral=True, session=session)
+        coord.create("/e2", ephemeral=True, session=session)
+        coord.create("/durable")
+        victims = coord.expire_session(session)
+        assert sorted(victims) == ["/e1", "/e2"]
+        assert not coord.exists("/e1")
+        assert coord.exists("/durable")
+
+    def test_expired_session_cannot_create(self):
+        coord = Coordinator()
+        session = coord.connect("b")
+        coord.expire_session(session)
+        with pytest.raises(SessionExpiredError):
+            coord.create("/x", ephemeral=True, session=session)
+
+    def test_double_expiry_noop(self):
+        coord = Coordinator()
+        session = coord.connect("b")
+        coord.expire_session(session)
+        assert coord.expire_session(session) == []
+
+
+class TestWatches:
+    def test_create_watch_fires(self):
+        coord = Coordinator()
+        events = []
+        coord.watch("/w", lambda ev, path: events.append((ev, path)))
+        coord.create("/w")
+        assert events == [(EVENT_CREATED, "/w")]
+
+    def test_delete_watch_fires(self):
+        coord = Coordinator()
+        coord.create("/w")
+        events = []
+        coord.watch("/w", lambda ev, path: events.append(ev))
+        coord.delete("/w")
+        assert events == [EVENT_DELETED]
+
+    def test_change_watch_fires(self):
+        coord = Coordinator()
+        coord.create("/w", data=1)
+        events = []
+        coord.watch("/w", lambda ev, path: events.append(ev))
+        coord.set_data("/w", 2)
+        assert events == [EVENT_CHANGED]
+
+    def test_watch_is_one_shot(self):
+        coord = Coordinator()
+        coord.create("/w", data=1)
+        events = []
+        coord.watch("/w", lambda ev, path: events.append(ev))
+        coord.set_data("/w", 2)
+        coord.set_data("/w", 3)
+        assert len(events) == 1
+
+    def test_child_watch_fires_on_create_and_delete(self):
+        coord = Coordinator()
+        coord.create("/p")
+        events = []
+        coord.watch_children("/p", lambda ev, path: events.append((ev, path)))
+        coord.create("/p/c")
+        assert events == [(EVENT_CHILD, "/p")]
+        coord.watch_children("/p", lambda ev, path: events.append((ev, path)))
+        coord.delete("/p/c")
+        assert len(events) == 2
+
+
+class TestElection:
+    def test_first_candidate_wins(self):
+        coord = Coordinator()
+        s1 = coord.connect("b1")
+        s2 = coord.connect("b2")
+        assert coord.elect("/controller", "b1", s1) is True
+        assert coord.elect("/controller", "b2", s2) is False
+        assert coord.get("/controller") == "b1"
+
+    def test_expiry_frees_the_seat(self):
+        coord = Coordinator()
+        s1 = coord.connect("b1")
+        s2 = coord.connect("b2")
+        coord.elect("/controller", "b1", s1)
+        coord.expire_session(s1)
+        assert coord.elect("/controller", "b2", s2) is True
+        assert coord.get("/controller") == "b2"

@@ -1,0 +1,77 @@
+"""Unit tests for the failure injector."""
+
+from repro.cluster.failures import FailureInjector
+from repro.common.clock import SimClock
+
+
+class FakeCluster:
+    def __init__(self):
+        self.killed = []
+        self.restarted = []
+        self._leader = 2
+
+    def kill_broker(self, broker_id):
+        self.killed.append(broker_id)
+
+    def restart_broker(self, broker_id):
+        self.restarted.append(broker_id)
+
+    def leader_of(self, topic, partition):
+        return self._leader
+
+
+class TestScheduling:
+    def test_at_fires_at_time(self):
+        clock = SimClock()
+        injector = FailureInjector(clock)
+        fired = []
+        injector.at(5.0, lambda: fired.append("x"), label="test")
+        clock.advance(4.0)
+        assert fired == []
+        clock.advance(2.0)
+        assert fired == ["x"]
+
+    def test_after_is_relative(self):
+        clock = SimClock(start=10.0)
+        injector = FailureInjector(clock)
+        fired = []
+        injector.after(2.0, lambda: fired.append("x"))
+        clock.advance(2.0)
+        assert fired == ["x"]
+
+    def test_timeline_records_fire_times(self):
+        clock = SimClock()
+        injector = FailureInjector(clock)
+        injector.at(3.0, lambda: None, label="boom")
+        clock.advance(5.0)
+        assert injector.events() == [(3.0, "boom")]
+
+
+class TestConvenience:
+    def test_kill_and_restart_broker(self):
+        clock = SimClock()
+        cluster = FakeCluster()
+        injector = FailureInjector(clock)
+        injector.kill_broker_at(1.0, cluster, 7)
+        injector.restart_broker_at(2.0, cluster, 7)
+        clock.advance(3.0)
+        assert cluster.killed == [7]
+        assert cluster.restarted == [7]
+
+    def test_kill_leader_resolves_at_fire_time(self):
+        clock = SimClock()
+        cluster = FakeCluster()
+        injector = FailureInjector(clock)
+        injector.kill_leader_at(1.0, cluster, "t", 0)
+        cluster._leader = 5  # leadership moved before the fault fires
+        clock.advance(1.0)
+        assert cluster.killed == [5]
+
+    def test_kill_leader_noop_when_offline(self):
+        clock = SimClock()
+        cluster = FakeCluster()
+        cluster._leader = None
+        injector = FailureInjector(clock)
+        injector.kill_leader_at(1.0, cluster, "t", 0)
+        clock.advance(1.0)
+        assert cluster.killed == []

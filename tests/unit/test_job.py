@@ -1,0 +1,273 @@
+"""Unit tests for the job runner (§3.2)."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import JobConfigError, TaskFailedError
+from repro.common.records import TopicPartition
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.producer import Producer
+from repro.processing.job import JobConfig, JobRunner, StoreConfig
+from repro.processing.state import changelog_topic_name
+
+
+class EchoTask:
+    def process(self, record, collector):
+        collector.send("out", record.value, key=record.key)
+
+
+class CountTask:
+    def init(self, context):
+        self.counts = context.store("counts")
+
+    def process(self, record, collector):
+        n = self.counts.get_or_default(record.key, 0) + 1
+        self.counts.put(record.key, n)
+
+
+class FailingTask:
+    def process(self, record, collector):
+        raise RuntimeError("boom")
+
+
+class WindowedTask:
+    def __init__(self):
+        self.windows_fired = 0
+
+    def process(self, record, collector):
+        pass
+
+    def window(self, collector):
+        self.windows_fired += 1
+        collector.send("out", {"window": self.windows_fired})
+
+
+def make_env(partitions=2, n=20):
+    clock = SimClock()
+    cluster = MessagingCluster(num_brokers=1, clock=clock)
+    cluster.create_topic("in", num_partitions=partitions, replication_factor=1)
+    cluster.create_topic("out", num_partitions=partitions, replication_factor=1)
+    producer = Producer(cluster)
+    for i in range(n):
+        producer.send("in", {"i": i}, key=f"k{i % 4}")
+    return clock, cluster, producer
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": "", "inputs": ["a"], "task_factory": EchoTask},
+            {"name": "j", "inputs": [], "task_factory": EchoTask},
+            {"name": "j", "inputs": ["a"], "task_factory": EchoTask,
+             "checkpoint_interval": 0},
+            {"name": "j", "inputs": ["a"], "task_factory": EchoTask,
+             "window_interval": 0},
+            {"name": "j", "inputs": ["a"], "task_factory": EchoTask,
+             "stores": [StoreConfig("s"), StoreConfig("s")]},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(JobConfigError):
+            JobConfig(**kwargs)
+
+
+class TestParallelism:
+    def test_one_task_per_partition(self):
+        _clock, cluster, _producer = make_env(partitions=3)
+        runner = JobRunner(
+            JobConfig(name="j", inputs=["in"], task_factory=EchoTask), cluster
+        )
+        assert runner.num_tasks == 3
+        assert len(runner.tasks()) == 3
+
+    def test_task_owns_matching_partition_of_each_input(self):
+        clock = SimClock()
+        cluster = MessagingCluster(num_brokers=1, clock=clock)
+        cluster.create_topic("a", num_partitions=3, replication_factor=1)
+        cluster.create_topic("b", num_partitions=2, replication_factor=1)
+        runner = JobRunner(
+            JobConfig(name="j", inputs=["a", "b"], task_factory=EchoTask), cluster
+        )
+        assert runner.num_tasks == 3
+        assert runner.task(1).partitions == [
+            TopicPartition("a", 1),
+            TopicPartition("b", 1),
+        ]
+        assert runner.task(2).partitions == [TopicPartition("a", 2)]
+
+
+class TestProcessing:
+    def test_drains_input_and_emits(self):
+        _clock, cluster, _producer = make_env(n=20)
+        runner = JobRunner(
+            JobConfig(name="j", inputs=["in"], task_factory=EchoTask), cluster
+        )
+        total = runner.run_until_idle()
+        assert total == 20
+        assert runner.records_emitted == 20
+        tp_counts = sum(
+            cluster.end_offset(tp) for tp in cluster.partitions_of("out")
+        )
+        assert tp_counts == 20
+
+    def test_poll_respects_budget(self):
+        _clock, cluster, _producer = make_env(n=20, partitions=1)
+        runner = JobRunner(
+            JobConfig(name="j", inputs=["in"], task_factory=EchoTask), cluster
+        )
+        result = runner.poll_once(max_messages=5)
+        assert result.records_processed == 5
+
+    def test_task_exception_wrapped(self):
+        _clock, cluster, _producer = make_env()
+        runner = JobRunner(
+            JobConfig(name="j", inputs=["in"], task_factory=FailingTask), cluster
+        )
+        with pytest.raises(TaskFailedError, match="boom"):
+            runner.poll_once()
+
+    def test_auto_advance_moves_clock(self):
+        clock, cluster, _producer = make_env()
+        runner = JobRunner(
+            JobConfig(name="j", inputs=["in"], task_factory=EchoTask), cluster
+        )
+        before = clock.now()
+        runner.run_until_idle()
+        assert clock.now() > before
+
+    def test_backlog_counts_unprocessed(self):
+        _clock, cluster, _producer = make_env(n=20)
+        runner = JobRunner(
+            JobConfig(name="j", inputs=["in"], task_factory=EchoTask), cluster
+        )
+        assert runner.backlog() == 20
+        runner.run_until_idle()
+        assert runner.backlog() == 0
+
+
+class TestCheckpointing:
+    def test_resume_from_checkpoint(self):
+        _clock, cluster, producer = make_env(partitions=1, n=10)
+        config = JobConfig(
+            name="j", inputs=["in"], task_factory=EchoTask, checkpoint_interval=5
+        )
+        runner = JobRunner(config, cluster)
+        runner.run_until_idle()
+        runner.checkpoint()
+        # A fresh runner (same name) resumes where the first left off.
+        for i in range(3):
+            producer.send("in", {"late": i}, key="k")
+        fresh = JobRunner(config, cluster)
+        total = fresh.run_until_idle()
+        assert total == 3
+
+    def test_checkpoint_metadata_has_version(self):
+        _clock, cluster, _producer = make_env(partitions=1)
+        config = JobConfig(
+            name="j", inputs=["in"], task_factory=EchoTask, version="v9"
+        )
+        runner = JobRunner(config, cluster)
+        runner.run_until_idle()
+        runner.checkpoint()
+        commit = cluster.offset_manager.fetch("job-j", TopicPartition("in", 0))
+        assert commit.metadata["software_version"] == "v9"
+
+    def test_auto_checkpoint_by_interval(self):
+        _clock, cluster, _producer = make_env(partitions=1, n=20)
+        runner = JobRunner(
+            JobConfig(
+                name="j", inputs=["in"], task_factory=EchoTask,
+                checkpoint_interval=5,
+            ),
+            cluster,
+        )
+        runner.run_until_idle()
+        commit = cluster.offset_manager.fetch("job-j", TopicPartition("in", 0))
+        assert commit is not None and commit.offset >= 5
+
+
+class TestStateAndRecovery:
+    def test_changelog_topic_created(self):
+        _clock, cluster, _producer = make_env()
+        JobRunner(
+            JobConfig(
+                name="j", inputs=["in"], task_factory=CountTask,
+                stores=[StoreConfig("counts")],
+            ),
+            cluster,
+        )
+        assert changelog_topic_name("j", "counts") in cluster.topics()
+        assert cluster.topic_config(changelog_topic_name("j", "counts")).compacted
+
+    def test_crash_recover_restores_state(self):
+        _clock, cluster, _producer = make_env(partitions=2, n=20)
+        config = JobConfig(
+            name="j", inputs=["in"], task_factory=CountTask,
+            stores=[StoreConfig("counts")],
+        )
+        runner = JobRunner(config, cluster)
+        runner.run_until_idle()
+        runner.checkpoint()
+        before = {
+            k: v
+            for instance in runner.tasks()
+            for k, v in instance.stores["counts"].items()
+        }
+        runner.crash()
+        with pytest.raises(JobConfigError):
+            runner.poll_once()
+        report = runner.recover()
+        assert report.records_replayed == 20
+        after = {
+            k: v
+            for instance in runner.tasks()
+            for k, v in instance.stores["counts"].items()
+        }
+        assert after == before
+
+    def test_recovery_does_not_reprocess_checkpointed_input(self):
+        _clock, cluster, _producer = make_env(partitions=1, n=10)
+        config = JobConfig(
+            name="j", inputs=["in"], task_factory=CountTask,
+            stores=[StoreConfig("counts")],
+        )
+        runner = JobRunner(config, cluster)
+        runner.run_until_idle()
+        runner.checkpoint()
+        runner.crash()
+        runner.recover()
+        assert runner.run_until_idle() == 0  # nothing re-processed
+        counts = dict(runner.task(0).stores["counts"].items())
+        assert sum(counts.values()) == 10  # not doubled
+
+    def test_transient_store_lost_on_crash(self):
+        _clock, cluster, _producer = make_env(partitions=1, n=10)
+        config = JobConfig(
+            name="j", inputs=["in"], task_factory=CountTask,
+            stores=[StoreConfig("counts", changelog=False)],
+        )
+        runner = JobRunner(config, cluster)
+        runner.run_until_idle()
+        runner.checkpoint()
+        runner.crash()
+        report = runner.recover()
+        assert report.records_replayed == 0
+        assert len(runner.task(0).stores["counts"]) == 0
+
+
+class TestWindowing:
+    def test_window_fires_on_interval(self):
+        clock, cluster, _producer = make_env(partitions=1)
+        runner = JobRunner(
+            JobConfig(
+                name="j", inputs=["in"], task_factory=WindowedTask,
+                window_interval=5.0,
+            ),
+            cluster,
+        )
+        runner.run_until_idle()
+        emitted_before = runner.records_emitted
+        clock.advance(6.0)
+        runner.poll_once()
+        assert runner.records_emitted == emitted_before + 1

@@ -1,0 +1,117 @@
+"""Unit tests for the Kappa architecture baseline (§2.2)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.baselines.kappa_arch import KappaArchitecture
+
+
+def counting(view, event):
+    view[event["w"]] = view.get(event["w"], 0) + 1
+
+
+def double_counting(view, event):
+    view[event["w"]] = view.get(event["w"], 0) + 2
+
+
+def events(n, words=3):
+    return [{"w": f"w{i % words}"} for i in range(n)]
+
+
+def word_counter() -> KappaArchitecture:
+    kappa = KappaArchitecture()
+    kappa.register_logic(counting, "v1")
+    return kappa
+
+
+class TestProcessing:
+    def test_logic_required(self):
+        with pytest.raises(ConfigError):
+            KappaArchitecture().process()
+
+    def test_single_code_path(self):
+        assert word_counter().metrics().code_paths == 1
+
+    def test_process_folds_new_events(self):
+        kappa = word_counter()
+        kappa.ingest(events(300))
+        assert kappa.process() == 300
+        assert kappa.query("w0") == 100
+
+    def test_process_is_incremental(self):
+        kappa = word_counter()
+        kappa.ingest(events(30))
+        kappa.process()
+        kappa.ingest(events(9))
+        assert kappa.process() == 9
+        assert kappa.query("w0") == 13
+
+
+class TestReprocessing:
+    def test_reprocess_replays_full_history(self):
+        kappa = word_counter()
+        kappa.ingest(events(300))
+        kappa.process()
+        kappa.reprocess(double_counting, "v2")
+        assert kappa.version == "v2"
+        assert kappa.query("w0") == 200  # recomputed with the new algorithm
+
+    def test_old_view_serves_until_cutover(self):
+        kappa = word_counter()
+        kappa.ingest(events(30))
+        kappa.process()
+        before = kappa.query("w0")
+        window = kappa.reprocess(double_counting, "v2")
+        assert window > 0  # there WAS a staleness window
+        assert kappa.query("w0") == 2 * before
+
+    def test_reprocess_catches_tail_ingested_meanwhile(self):
+        kappa = word_counter()
+        kappa.ingest(events(30))
+        kappa.process()
+        kappa.ingest(events(3))  # not yet processed by v1
+        kappa.reprocess(double_counting, "v2")
+        assert kappa.query("w0") == 2 * 11
+
+    def test_post_cutover_processing_uses_new_logic(self):
+        kappa = word_counter()
+        kappa.ingest(events(30))
+        kappa.process()
+        kappa.reprocess(double_counting, "v2")
+        kappa.ingest(events(3))
+        kappa.process()
+        assert kappa.query("w0") == 22
+
+    def test_staleness_window_grows_with_history(self):
+        small = word_counter()
+        small.ingest(events(50))
+        small.process()
+        small_window = small.reprocess(double_counting, "v2")
+
+        large = word_counter()
+        large.ingest(events(2000))
+        large.process()
+        large_window = large.reprocess(double_counting, "v2")
+        assert large_window > 5 * small_window
+
+
+class TestFootprint:
+    def test_full_history_retained(self):
+        kappa = word_counter()
+        kappa.ingest(events(500))
+        kappa.process()
+        stored_before = kappa.storage_bytes()
+        kappa.ingest(events(500))
+        kappa.process()
+        assert kappa.storage_bytes() > stored_before  # log only grows
+
+    def test_metrics_shape(self):
+        kappa = word_counter()
+        kappa.ingest(events(10))
+        kappa.process()
+        kappa.reprocess(double_counting, "v2")
+        metrics = kappa.metrics()
+        assert metrics.code_paths == 1
+        assert metrics.compute_seconds > 0
+        assert metrics.reprocess_seconds > 0
+        assert metrics.last_staleness_window > 0

@@ -1,0 +1,103 @@
+"""Unit tests for the Lambda architecture baseline (§2.2)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.baselines.lambda_arch import LambdaArchitecture
+
+
+def word_counter() -> LambdaArchitecture:
+    lam = LambdaArchitecture(ingest_batch_size=100)
+    lam.register_stream_logic(
+        lambda view, e: view.__setitem__(e["w"], view.get(e["w"], 0) + 1)
+    )
+    lam.register_batch_logic(
+        lambda e: [(e["w"], 1)], lambda key, values: sum(values)
+    )
+    return lam
+
+
+def events(n, words=3):
+    return [{"w": f"w{i % words}"} for i in range(n)]
+
+
+class TestDualRegistration:
+    def test_both_implementations_required(self):
+        lam = LambdaArchitecture()
+        lam.register_stream_logic(lambda view, e: None)
+        with pytest.raises(ConfigError):
+            lam.run_speed_layer()
+        with pytest.raises(ConfigError):
+            lam.run_batch_layer()
+
+    def test_code_paths_is_two(self):
+        assert word_counter().metrics().code_paths == 2
+
+    def test_re_registration_does_not_double_count(self):
+        lam = word_counter()
+        lam.register_stream_logic(lambda view, e: None)
+        assert lam.code_paths == 2
+
+
+class TestServing:
+    def test_speed_layer_serves_fresh_data(self):
+        lam = word_counter()
+        lam.ingest(events(300))
+        assert lam.run_speed_layer() == 300
+        assert lam.query("w0") == 100
+
+    def test_batch_layer_absorbs_realtime(self):
+        lam = word_counter()
+        lam.ingest(events(300))
+        lam.run_speed_layer()
+        lam.run_batch_layer()
+        assert lam.realtime_view == {}
+        assert lam.query("w0") == 100  # now answered by the batch view
+
+    def test_merge_combines_views(self):
+        lam = word_counter()
+        lam.ingest(events(300))
+        lam.run_speed_layer()
+        lam.run_batch_layer()
+        lam.ingest(events(30))
+        lam.run_speed_layer()
+        assert lam.query("w0") == 110  # 100 batch + 10 realtime
+
+    def test_unseen_key_is_none(self):
+        lam = word_counter()
+        assert lam.query("ghost") is None
+
+    def test_custom_merge(self):
+        lam = word_counter()
+        lam.batch_view = {"k": 5}
+        lam.realtime_view = {"k": 7}
+        assert lam.query("k", merge=max) == 7
+
+
+class TestFootprint:
+    def test_data_stored_twice(self):
+        lam = word_counter()
+        lam.ingest(events(500))
+        lam.flush_staging()
+        assert lam.dfs.total_stored_bytes() > 0
+        assert lam.stream.stats()["stored_bytes"] > 0
+
+    def test_batch_compute_dominates(self):
+        lam = word_counter()
+        lam.ingest(events(500))
+        lam.run_speed_layer()
+        lam.run_batch_layer()
+        metrics = lam.metrics()
+        # MR startup makes the batch path orders of magnitude costlier.
+        assert metrics.batch_compute_seconds > 100 * metrics.speed_compute_seconds
+
+    def test_staleness_grows_until_next_batch_run(self):
+        lam = word_counter()
+        lam.ingest(events(100))
+        lam.run_speed_layer()
+        lam.run_batch_layer()
+        first = lam.staleness()
+        lam.clock.advance(100.0)
+        assert lam.staleness() == pytest.approx(first + 100.0)
+        lam.run_batch_layer()
+        assert lam.staleness() == 0.0

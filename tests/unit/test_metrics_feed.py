@@ -1,0 +1,83 @@
+"""Unit tests for the self-monitoring metrics publisher."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.common.records import TopicPartition
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.producer import Producer
+from repro.tools.metrics_feed import METRICS_FEED, MetricsPublisher
+
+
+def make_cluster() -> MessagingCluster:
+    cluster = MessagingCluster(num_brokers=2, clock=SimClock())
+    cluster.create_topic("app-events", replication_factor=2)
+    producer = Producer(cluster)
+    for i in range(20):
+        producer.send("app-events", {"i": i})
+    cluster.tick(0.0)
+    return cluster
+
+
+class TestSnapshot:
+    def test_snapshot_covers_cluster_and_broker_metrics(self):
+        cluster = make_cluster()
+        publisher = MetricsPublisher(cluster)
+        records = publisher.snapshot()
+        names = {r["metric"] for r in records}
+        assert "cluster.brokers" in names
+        assert any(name.startswith("broker.") for name in names)
+        assert all("value" in r and "timestamp" in r for r in records)
+
+    def test_group_lag_included(self):
+        cluster = make_cluster()
+        cluster.offset_manager.commit(
+            "dash", TopicPartition("app-events", 0), 5
+        )
+        publisher = MetricsPublisher(cluster)
+        names = {r["metric"] for r in publisher.snapshot()}
+        assert "group_lag.dash" in names
+
+
+class TestPublishing:
+    def test_publish_once_writes_to_the_feed(self):
+        cluster = make_cluster()
+        publisher = MetricsPublisher(cluster)
+        count = publisher.publish_once()
+        cluster.tick(0.0)
+        result = cluster.fetch(METRICS_FEED, 0, 0, max_messages=10_000)
+        assert len(result.records) == count
+        assert publisher.snapshots_published == 1
+
+    def test_metrics_feed_created_on_demand(self):
+        cluster = make_cluster()
+        MetricsPublisher(cluster, feed="ops-metrics-feed")
+        assert "ops-metrics-feed" in cluster.topics()
+
+    def test_scheduled_publication_follows_the_clock(self):
+        cluster = make_cluster()
+        publisher = MetricsPublisher(cluster, interval=10.0)
+        publisher.start()
+        cluster.clock.advance(35.0)
+        assert publisher.snapshots_published == 3
+        publisher.stop()
+        cluster.clock.advance(50.0)
+        assert publisher.snapshots_published == 3
+
+    def test_metrics_are_consumable_like_any_feed(self):
+        """The §5.1 point: a new metric is just another produced record."""
+        cluster = make_cluster()
+        publisher = MetricsPublisher(cluster)
+        publisher.publish_once()
+        cluster.tick(0.0)
+        result = cluster.fetch(METRICS_FEED, 0, 0, max_messages=10_000)
+        in_rates = [
+            r.value for r in result.records
+            if r.value["metric"] == "cluster.messages_in"
+        ]
+        assert in_rates and in_rates[0]["value"] >= 20
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsPublisher(make_cluster(), interval=0)

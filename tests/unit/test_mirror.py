@@ -1,0 +1,156 @@
+"""Unit tests for cross-datacenter mirroring (§5)."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.common.records import TopicPartition
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.mirror import MirrorMaker
+from repro.messaging.producer import Producer
+
+
+def two_colos() -> tuple[MessagingCluster, MessagingCluster]:
+    clock = SimClock()  # shared wall clock across both datacenters
+    west = MessagingCluster(num_brokers=3, clock=clock)
+    east = MessagingCluster(num_brokers=3, clock=clock)
+    west.create_topic("events", num_partitions=2, replication_factor=3)
+    return west, east
+
+
+def drain(cluster, topic, partition):
+    result = cluster.fetch(topic, partition, 0, max_messages=10_000)
+    return result.records
+
+
+class TestProvisioning:
+    def test_target_topic_created_with_source_shape(self):
+        west, east = two_colos()
+        mirror = MirrorMaker(west, east)
+        mirror.poll()
+        assert "events" in east.topics()
+        assert len(east.partitions_of("events")) == 2
+
+    def test_internal_topics_not_mirrored(self):
+        west, east = two_colos()
+        mirror = MirrorMaker(west, east)
+        assert "__liquid_offsets" not in mirror.mirrored_topics()
+        mirror.poll()
+        assert "__liquid_offsets" in east.topics()  # east's OWN, not mirrored
+        tp = TopicPartition("__liquid_offsets", 0)
+        assert east.log_end_offset(tp) >= 0
+
+    def test_explicit_topic_list_respected(self):
+        west, east = two_colos()
+        west.create_topic("other", replication_factor=3)
+        mirror = MirrorMaker(west, east, topics=["events"])
+        Producer(west).send("other", "x")
+        west.tick(0.0)
+        mirror.run_until_synced()
+        assert "other" not in east.topics()
+
+    def test_same_cluster_rejected(self):
+        west, _east = two_colos()
+        with pytest.raises(ConfigError):
+            MirrorMaker(west, west)
+
+
+class TestCopySemantics:
+    def test_everything_copied_in_order_with_fidelity(self):
+        west, east = two_colos()
+        producer = Producer(west)
+        for i in range(100):
+            producer.send(
+                "events", {"i": i}, key=f"k{i % 10}", timestamp=float(i),
+                headers={"origin": "west"},
+            )
+        west.tick(0.0)
+        mirror = MirrorMaker(west, east)
+        copied = mirror.run_until_synced()
+        assert copied == 100
+        east.tick(0.0)
+        for partition in range(2):
+            src = drain(west, "events", partition)
+            dst = drain(east, "events", partition)
+            assert [(r.key, r.value, r.timestamp) for r in src] == [
+                (r.key, r.value, r.timestamp) for r in dst
+            ]
+            assert all(r.headers["origin"] == "west" for r in dst)
+
+    def test_incremental_mirroring(self):
+        west, east = two_colos()
+        producer = Producer(west)
+        mirror = MirrorMaker(west, east)
+        for i in range(30):
+            producer.send("events", i, key=str(i))
+        assert mirror.run_until_synced() == 30
+        for i in range(5):
+            producer.send("events", 100 + i, key=str(i))
+        assert mirror.run_until_synced() == 5
+
+    def test_restarted_mirror_resumes_from_checkpoint(self):
+        west, east = two_colos()
+        producer = Producer(west)
+        for i in range(40):
+            producer.send("events", i, key=str(i))
+        MirrorMaker(west, east, name="m1").run_until_synced()
+        # New MirrorMaker instance with the same name: resumes, no re-copy.
+        fresh = MirrorMaker(west, east, name="m1")
+        assert fresh.run_until_synced() == 0
+        total = sum(
+            len(drain(east, "events", p)) for p in range(2)
+        )
+        assert total == 40
+
+    def test_independent_mirror_names_copy_independently(self):
+        west, east = two_colos()
+        _clock = west.clock
+        south = MessagingCluster(num_brokers=1, clock=west.clock)
+        producer = Producer(west)
+        for i in range(10):
+            producer.send("events", i, key=str(i))
+        MirrorMaker(west, east, name="to-east").run_until_synced()
+        MirrorMaker(west, south, name="to-south").run_until_synced()
+        assert sum(len(drain(east, "events", p)) for p in range(2)) == 10
+        assert sum(len(drain(south, "events", p)) for p in range(2)) == 10
+
+
+class TestLagAndCosts:
+    def test_lag_reflects_unmirrored_records(self):
+        west, east = two_colos()
+        producer = Producer(west)
+        mirror = MirrorMaker(west, east)
+        for i in range(25):
+            producer.send("events", i, key=str(i))
+        west.tick(0.0)
+        assert mirror.lag() == 25
+        mirror.run_until_synced()
+        assert mirror.lag() == 0
+
+    def test_wan_rtt_dominates_mirroring_latency(self):
+        west, east = two_colos()
+        producer = Producer(west)
+        for i in range(10):
+            producer.send("events", i, key=str(i), partition=0)
+        west.tick(0.0)
+        slow = MirrorMaker(west, east, name="far", wan_rtt=0.1)
+        stats = slow.poll()
+        assert stats.simulated_seconds > 0.1  # at least one WAN round trip
+
+    def test_negative_rtt_rejected(self):
+        west, east = two_colos()
+        with pytest.raises(ConfigError):
+            MirrorMaker(west, east, wan_rtt=-1)
+
+    def test_survives_source_broker_failure(self):
+        west, east = two_colos()
+        producer = Producer(west)
+        for i in range(50):
+            producer.send("events", i, key=str(i))
+        mirror = MirrorMaker(west, east)
+        mirror.run_until_synced()
+        west.kill_broker(west.leader_of("events", 0))
+        for i in range(10):
+            producer.send("events", 100 + i, key=str(i))
+        copied = mirror.run_until_synced()
+        assert copied == 10

@@ -1,0 +1,143 @@
+"""Unit tests for the offset manager (§3.1, §4.2)."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.common.records import TopicPartition
+from repro.messaging.offset_manager import OffsetManager
+
+TP = TopicPartition("t", 0)
+TP2 = TopicPartition("t", 1)
+
+
+def make_manager(**kwargs) -> tuple[SimClock, OffsetManager]:
+    clock = SimClock()
+    return clock, OffsetManager(clock, **kwargs)
+
+
+class TestCommitFetch:
+    def test_fetch_latest(self):
+        _clock, manager = make_manager()
+        manager.commit("g", TP, 5)
+        manager.commit("g", TP, 9)
+        commit = manager.fetch("g", TP)
+        assert commit is not None and commit.offset == 9
+
+    def test_unknown_returns_none(self):
+        _clock, manager = make_manager()
+        assert manager.fetch("g", TP) is None
+
+    def test_groups_isolated(self):
+        _clock, manager = make_manager()
+        manager.commit("g1", TP, 5)
+        manager.commit("g2", TP, 7)
+        assert manager.fetch("g1", TP).offset == 5
+        assert manager.fetch("g2", TP).offset == 7
+        assert manager.groups() == {"g1", "g2"}
+
+    def test_partitions_isolated(self):
+        _clock, manager = make_manager()
+        manager.commit("g", TP, 5)
+        manager.commit("g", TP2, 6)
+        group = manager.fetch_group("g")
+        assert group[TP].offset == 5
+        assert group[TP2].offset == 6
+
+    def test_negative_offset_rejected(self):
+        _clock, manager = make_manager()
+        with pytest.raises(ConfigError):
+            manager.commit("g", TP, -1)
+
+    def test_commit_timestamps_from_clock(self):
+        clock, manager = make_manager()
+        clock.advance(42.0)
+        commit = manager.commit("g", TP, 1)
+        assert commit.committed_at == 42.0
+
+    def test_metadata_copied(self):
+        _clock, manager = make_manager()
+        metadata = {"v": 1}
+        manager.commit("g", TP, 1, metadata)
+        metadata["v"] = 2
+        assert manager.fetch("g", TP).metadata == {"v": 1}
+
+
+class TestAnnotationQueries:
+    def test_offset_at_time(self):
+        clock, manager = make_manager()
+        manager.commit("g", TP, 1)
+        clock.advance(10.0)
+        manager.commit("g", TP, 5)
+        clock.advance(10.0)
+        manager.commit("g", TP, 9)
+        found = manager.offset_at_time("g", TP, 15.0)
+        assert found.offset == 5
+        assert manager.offset_at_time("g", TP, 100.0).offset == 9
+
+    def test_offset_at_time_before_first_commit(self):
+        clock, manager = make_manager()
+        clock.advance(5.0)
+        manager.commit("g", TP, 1)
+        assert manager.offset_at_time("g", TP, 1.0) is None
+
+    def test_offset_for_annotation(self):
+        _clock, manager = make_manager()
+        manager.commit("g", TP, 3, {"software_version": "v1"})
+        manager.commit("g", TP, 7, {"software_version": "v1"})
+        manager.commit("g", TP, 12, {"software_version": "v2"})
+        v1 = manager.offset_for_annotation("g", TP, "software_version", "v1")
+        assert v1.offset == 7  # LAST v1 commit
+        v2 = manager.offset_for_annotation("g", TP, "software_version", "v2")
+        assert v2.offset == 12
+        assert manager.offset_for_annotation("g", TP, "software_version", "v3") is None
+
+    def test_find_predicate(self):
+        _clock, manager = make_manager()
+        manager.commit("g", TP, 3, {"run": 1})
+        manager.commit("g", TP, 9, {"run": 2})
+        found = manager.find("g", TP, lambda c: c.metadata.get("run") == 1)
+        assert found.offset == 3
+
+    def test_history_order_and_bound(self):
+        _clock, manager = make_manager(history_limit=3)
+        for offset in range(6):
+            manager.commit("g", TP, offset)
+        history = manager.history("g", TP)
+        assert [c.offset for c in history] == [3, 4, 5]
+
+
+class TestDurability:
+    def test_durable_append_called_per_commit(self):
+        written = []
+        _clock, manager = make_manager(
+            durable_append=lambda key, value: written.append((key, value))
+        )
+        manager.commit("grp", TP, 4, {"a": 1})
+        assert len(written) == 1
+        key, value = written[0]
+        assert key == "grp:t-0"
+        assert value["offset"] == 4
+        assert value["metadata"] == {"a": 1}
+
+    def test_recovery_rebuilds_latest(self):
+        _clock, manager = make_manager()
+        records = [
+            {"group": "g", "topic": "t", "partition": 0, "offset": 5,
+             "committed_at": 1.0, "metadata": {"v": "v1"}},
+            {"group": "g", "topic": "t", "partition": 1, "offset": 9,
+             "committed_at": 2.0, "metadata": {}},
+        ]
+        assert manager.recover_from_records(records) == 2
+        assert manager.fetch("g", TP).offset == 5
+        assert manager.fetch("g", TP2).offset == 9
+
+    def test_recovery_clears_previous_state(self):
+        _clock, manager = make_manager()
+        manager.commit("old", TP, 1)
+        manager.recover_from_records([])
+        assert manager.fetch("old", TP) is None
+
+    def test_invalid_history_limit_rejected(self):
+        with pytest.raises(ConfigError):
+            make_manager(history_limit=0)

@@ -1,0 +1,154 @@
+"""Unit tests for the producer client."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.messaging.cluster import ACKS_ALL, MessagingCluster
+from repro.messaging.producer import Producer, _stable_hash
+
+
+def make_cluster(partitions=4, **kwargs) -> MessagingCluster:
+    cluster = MessagingCluster(num_brokers=3, clock=SimClock(), **kwargs)
+    cluster.create_topic("t", num_partitions=partitions, replication_factor=3)
+    return cluster
+
+
+class TestPartitioning:
+    def test_same_key_same_partition(self):
+        cluster = make_cluster()
+        producer = Producer(cluster)
+        acks = [producer.send("t", i, key="stable") for i in range(10)]
+        partitions = {a.partition.partition for a in acks}
+        assert len(partitions) == 1
+
+    def test_hash_matches_stable_hash(self):
+        cluster = make_cluster()
+        producer = Producer(cluster)
+        ack = producer.send("t", "v", key="abc")
+        assert ack.partition.partition == _stable_hash("abc") % 4
+
+    def test_keyless_round_robins(self):
+        cluster = make_cluster()
+        producer = Producer(cluster)
+        acks = [producer.send("t", i) for i in range(8)]
+        partitions = [a.partition.partition for a in acks]
+        assert partitions == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_round_robin_partitioner_ignores_keys(self):
+        cluster = make_cluster()
+        producer = Producer(cluster, partitioner="round_robin")
+        acks = [producer.send("t", i, key="same") for i in range(4)]
+        assert [a.partition.partition for a in acks] == [0, 1, 2, 3]
+
+    def test_custom_partitioner(self):
+        cluster = make_cluster()
+        producer = Producer(cluster, partitioner=lambda key, n: 2)
+        ack = producer.send("t", "v", key="anything")
+        assert ack.partition.partition == 2
+
+    def test_explicit_partition_wins(self):
+        cluster = make_cluster()
+        producer = Producer(cluster)
+        ack = producer.send("t", "v", key="k", partition=3)
+        assert ack.partition.partition == 3
+
+    def test_out_of_range_partition_rejected(self):
+        cluster = make_cluster()
+        producer = Producer(cluster)
+        with pytest.raises(ConfigError):
+            producer.send("t", "v", partition=4)
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(ConfigError):
+            Producer(make_cluster(), partitioner="random")
+
+
+class TestBatching:
+    def test_unbatched_sends_immediately(self):
+        producer = Producer(make_cluster())
+        assert producer.send("t", "v") is not None
+        assert producer.pending() == 0
+
+    def test_batched_buffers_until_linger(self):
+        producer = Producer(make_cluster(partitions=1), linger_messages=3)
+        assert producer.send("t", 1) is None
+        assert producer.send("t", 2) is None
+        assert producer.pending() == 2
+        ack = producer.send("t", 3)
+        assert ack is not None
+        assert ack.last_offset - ack.base_offset == 2
+        assert producer.pending() == 0
+
+    def test_flush_sends_partial_batches(self):
+        producer = Producer(make_cluster(partitions=2), linger_messages=10)
+        producer.send("t", 1, partition=0)
+        producer.send("t", 2, partition=1)
+        acks = producer.flush()
+        assert len(acks) == 2
+        assert producer.pending() == 0
+
+    def test_invalid_linger_rejected(self):
+        with pytest.raises(ConfigError):
+            Producer(make_cluster(), linger_messages=0)
+
+
+class TestRetries:
+    def test_retry_succeeds_after_failover(self):
+        cluster = make_cluster(partitions=1)
+        producer = Producer(cluster, max_retries=3)
+        producer.send("t", "before")
+        leader = cluster.leader_of("t", 0)
+        cluster.kill_broker(leader)
+        ack = producer.send("t", "after")
+        assert ack is not None
+        assert producer.retries == 0  # controller already moved leadership
+
+    def test_retry_on_stale_leader_view(self):
+        cluster = make_cluster(partitions=1)
+        producer = Producer(cluster, max_retries=3)
+        leader = cluster.leader_of("t", 0)
+        # Crash the machine without the controller noticing yet: the first
+        # attempt hits the dead broker and is retried after the session
+        # expiry (modelled here by the kill during the retry's tick).
+        cluster.broker(leader).shutdown()
+        original_tick = cluster.tick
+
+        def tick_and_fail(dt=0.0, **kwargs):
+            cluster.controller.broker_failed(leader)
+            cluster.tick = original_tick
+            return original_tick(dt, **kwargs)
+
+        cluster.tick = tick_and_fail
+        ack = producer.send("t", "after")
+        assert ack is not None
+        assert producer.retries >= 1
+
+    def test_retries_exhausted_raises(self):
+        cluster = make_cluster(partitions=1)
+        producer = Producer(cluster, max_retries=1)
+        # Kill all brokers: nothing can lead.
+        for broker_id in range(3):
+            cluster.kill_broker(broker_id)
+        from repro.common.errors import MessagingError
+
+        with pytest.raises(MessagingError):
+            producer.send("t", "v")
+
+
+class TestIdempotent:
+    def test_sequences_advance_per_partition(self):
+        cluster = make_cluster(partitions=2)
+        producer = Producer(cluster, idempotent=True)
+        producer.send("t", 1, partition=0)
+        producer.send("t", 2, partition=0)
+        producer.send("t", 3, partition=1)
+        assert producer._sequences[
+            [tp for tp in producer._sequences if tp.partition == 0][0]
+        ] == 1
+
+    def test_acks_counted(self):
+        producer = Producer(make_cluster(), acks=ACKS_ALL)
+        for i in range(5):
+            producer.send("t", i)
+        assert producer.acks_received == 5

@@ -1,0 +1,95 @@
+"""Unit tests for message record types and size estimation."""
+
+from repro.common.records import (
+    ConsumerRecord,
+    ProducerRecord,
+    StoredMessage,
+    TopicPartition,
+    estimate_size,
+)
+
+
+class TestEstimateSize:
+    def test_none_is_zero(self):
+        assert estimate_size(None) == 0
+
+    def test_bytes_exact(self):
+        assert estimate_size(b"abcd") == 4
+
+    def test_str_utf8(self):
+        assert estimate_size("abc") == 3
+        assert estimate_size("é") == 2
+
+    def test_scalars_fixed(self):
+        assert estimate_size(42) == 8
+        assert estimate_size(3.14) == 8
+        assert estimate_size(True) == 1
+
+    def test_dict_recurses(self):
+        assert estimate_size({"ab": "cd"}) == 2 + 2 + 2
+
+    def test_list_recurses(self):
+        assert estimate_size(["ab", "cd"]) == (2 + 1) * 2
+
+    def test_nested(self):
+        value = {"k": [1, 2]}
+        assert estimate_size(value) == 1 + (8 + 1) * 2 + 2
+
+    def test_unknown_object_nonzero(self):
+        class Thing:
+            pass
+
+        assert estimate_size(Thing()) > 0
+
+
+class TestProducerRecord:
+    def test_defaults(self):
+        record = ProducerRecord(topic="t", value={"a": 1})
+        assert record.key is None
+        assert record.partition is None
+        assert record.headers == {}
+
+    def test_size_counts_key_value_headers(self):
+        record = ProducerRecord(
+            topic="t", value="vvvv", key="kk", headers={"h": "x"}
+        )
+        assert record.size_bytes() == 4 + 2 + (1 + 1 + 2)
+
+
+class TestStoredMessage:
+    def test_size_includes_framing(self):
+        message = StoredMessage(key="kk", value="vvvv", timestamp=0.0, offset=0)
+        assert message.size == 2 + 4 + 24
+
+    def test_explicit_size_preserved(self):
+        message = StoredMessage(key=None, value="x", timestamp=0.0, offset=0, size=77)
+        assert message.size == 77
+
+
+class TestConsumerRecord:
+    def test_frozen(self):
+        record = ConsumerRecord("t", 0, 5, "k", "v", 1.0)
+        try:
+            record.offset = 6
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+    def test_size(self):
+        record = ConsumerRecord("t", 0, 5, "kk", "vvvv", 1.0)
+        assert record.size == 6
+
+
+class TestTopicPartition:
+    def test_hashable_dict_key(self):
+        d = {TopicPartition("t", 0): 1}
+        assert d[TopicPartition("t", 0)] == 1
+
+    def test_equality(self):
+        assert TopicPartition("t", 1) == TopicPartition("t", 1)
+        assert TopicPartition("t", 1) != TopicPartition("t", 2)
+        assert TopicPartition("a", 1) != TopicPartition("b", 1)
+
+    def test_str(self):
+        assert str(TopicPartition("events", 3)) == "events-3"

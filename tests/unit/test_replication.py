@@ -1,0 +1,121 @@
+"""Unit tests for the replication loop and ISR maintenance (§4.3)."""
+
+from repro.common.clock import SimClock
+from repro.common.records import TopicPartition
+from repro.messaging.cluster import ACKS_LEADER, MessagingCluster
+from repro.messaging.replication import ReplicationManager
+
+TP = TopicPartition("t", 0)
+
+
+def make_cluster(max_lag=4) -> MessagingCluster:
+    cluster = MessagingCluster(
+        num_brokers=3, clock=SimClock(), replication_max_lag=max_lag
+    )
+    cluster.create_topic("t", num_partitions=1, replication_factor=3)
+    return cluster
+
+
+def entries(n):
+    return [(f"k{i}", i, None, {}) for i in range(n)]
+
+
+class TestCopying:
+    def test_poll_copies_to_all_followers(self):
+        cluster = make_cluster()
+        cluster.produce("t", 0, entries(5), acks=ACKS_LEADER)
+        stats = cluster.replication.poll()
+        assert stats.messages_copied == 10  # 5 records x 2 followers
+        for broker in cluster.brokers():
+            assert broker.replica(TP).log_end_offset == 5
+
+    def test_poll_advances_follower_hw(self):
+        cluster = make_cluster()
+        cluster.produce("t", 0, entries(5), acks=ACKS_LEADER)
+        cluster.replication.poll()
+        cluster.replication.poll()  # second pass piggybacks the leader HW
+        for broker in cluster.brokers():
+            assert broker.replica(TP).high_watermark == 5
+
+    def test_idle_poll_copies_nothing(self):
+        cluster = make_cluster()
+        cluster.produce("t", 0, entries(3), acks=ACKS_LEADER)
+        cluster.replication.poll()
+        stats = cluster.replication.poll()
+        assert stats.messages_copied == 0
+
+    def test_max_fetch_bounds_catchup_bandwidth(self):
+        cluster = make_cluster()
+        cluster.replication.max_fetch = 2
+        cluster.produce("t", 0, entries(10), acks=ACKS_LEADER)
+        stats = cluster.replication.poll()
+        assert stats.messages_copied == 4  # 2 per follower
+
+    def test_offline_follower_skipped(self):
+        cluster = make_cluster()
+        leader = cluster.leader_of("t", 0)
+        follower = [b for b in range(3) if b != leader][0]
+        cluster.kill_broker(follower)
+        cluster.produce("t", 0, entries(4), acks=ACKS_LEADER)
+        stats = cluster.replication.poll()
+        assert stats.messages_copied == 4  # only the live follower
+
+
+class TestIsrMaintenance:
+    def test_lagging_follower_shrunk(self):
+        cluster = make_cluster(max_lag=2)
+        cluster.replication.max_fetch = 1  # throttle: follower can't keep up
+        cluster.produce("t", 0, entries(10), acks=ACKS_LEADER)
+        stats = cluster.replication.poll()
+        assert stats.isr_shrinks
+        isr = cluster.controller.isr_for(TP)
+        assert len(isr) == 1
+
+    def test_caught_up_follower_re_expanded(self):
+        cluster = make_cluster(max_lag=2)
+        cluster.replication.max_fetch = 1
+        cluster.produce("t", 0, entries(10), acks=ACKS_LEADER)
+        cluster.replication.poll()  # shrinks
+        cluster.replication.max_fetch = 1000
+        stats = cluster.replication.poll()  # catches up fully
+        assert stats.isr_expansions
+        assert len(cluster.controller.isr_for(TP)) == 3
+
+    def test_shrink_advances_leader_hw(self):
+        cluster = make_cluster(max_lag=2)
+        cluster.replication.max_fetch = 1
+        cluster.produce("t", 0, entries(10), acks=ACKS_LEADER)
+        cluster.replication.poll()
+        leader = cluster.broker(cluster.leader_of("t", 0)).replica(TP)
+        # With laggards out of the ISR, the HW no longer waits for them.
+        assert leader.high_watermark == 10
+
+
+class TestDivergenceReconciliation:
+    def test_follower_truncates_longer_log(self):
+        cluster = make_cluster()
+        leader_id = cluster.leader_of("t", 0)
+        follower_id = [b for b in range(3) if b != leader_id][0]
+        cluster.produce("t", 0, entries(5), acks=ACKS_LEADER)
+        cluster.replication.poll()
+        # Simulate divergence: the follower has an un-replicated tail the
+        # (new) leader never saw.
+        follower = cluster.broker(follower_id).replica(TP)
+        follower.log.append("zombie", {"extra": True})
+        assert follower.log_end_offset == 6
+        stats = cluster.replication.poll()
+        assert (TP, follower_id, 1) in stats.truncations
+        assert follower.log_end_offset == 5
+
+    def test_follower_adopts_new_epoch(self):
+        cluster = make_cluster()
+        old_leader = cluster.leader_of("t", 0)
+        cluster.produce("t", 0, entries(3), acks=ACKS_LEADER)
+        cluster.replication.poll()
+        cluster.kill_broker(old_leader)
+        cluster.produce("t", 0, entries(2), acks=ACKS_LEADER)
+        cluster.replication.poll()
+        new_leader = cluster.leader_of("t", 0)
+        survivor = [b for b in range(3) if b not in (old_leader, new_leader)][0]
+        replica = cluster.broker(survivor).replica(TP)
+        assert replica.leader_epoch == cluster.controller.epoch_for(TP)

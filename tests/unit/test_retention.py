@@ -1,0 +1,106 @@
+"""Unit tests for log retention (§4.1)."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.storage.log import LogConfig, PartitionLog
+from repro.storage.retention import RetentionConfig, RetentionEnforcer
+
+
+def filled_log(clock: SimClock, n=20, per_segment=5) -> PartitionLog:
+    log = PartitionLog(
+        "t-0", LogConfig(segment_max_messages=per_segment), clock=clock
+    )
+    for i in range(n):
+        log.append("k", i, timestamp=clock.now())
+        clock.advance(1.0)
+    return log
+
+
+class TestConfig:
+    def test_disabled_by_default(self):
+        assert not RetentionConfig().enabled
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigError):
+            RetentionConfig(retention_seconds=-1)
+        with pytest.raises(ConfigError):
+            RetentionConfig(retention_bytes=-1)
+
+
+class TestTimeRetention:
+    def test_old_segments_deleted(self):
+        clock = SimClock()
+        log = filled_log(clock)  # messages at t=0..19, clock now 20
+        enforcer = RetentionEnforcer(RetentionConfig(retention_seconds=8.0), clock)
+        result = enforcer.enforce(log)
+        # Segments whose newest record is older than t=12 go: segments
+        # [0-4] (newest t=4) and [5-9] (newest t=9).
+        assert result.segments_deleted == 2
+        assert log.log_start_offset == 10
+
+    def test_fresh_segments_kept(self):
+        clock = SimClock()
+        log = filled_log(clock)
+        enforcer = RetentionEnforcer(RetentionConfig(retention_seconds=100.0), clock)
+        result = enforcer.enforce(log)
+        assert result.segments_deleted == 0
+
+    def test_active_segment_never_deleted(self):
+        clock = SimClock()
+        log = filled_log(clock)
+        clock.advance(1000.0)
+        enforcer = RetentionEnforcer(RetentionConfig(retention_seconds=1.0), clock)
+        enforcer.enforce(log)
+        assert log.segment_count >= 1
+        assert log.message_count == 5  # active segment's records survive
+
+    def test_disabled_is_noop(self):
+        clock = SimClock()
+        log = filled_log(clock)
+        enforcer = RetentionEnforcer(RetentionConfig(), clock)
+        result = enforcer.enforce(log)
+        assert result.segments_deleted == 0
+        assert log.message_count == 20
+
+
+class TestSizeRetention:
+    def test_oldest_dropped_until_under_cap(self):
+        clock = SimClock()
+        log = filled_log(clock)
+        cap = log.size_bytes // 2
+        enforcer = RetentionEnforcer(RetentionConfig(retention_bytes=cap), clock)
+        result = enforcer.enforce(log)
+        assert result.segments_deleted > 0
+        assert log.size_bytes <= cap
+
+    def test_active_segment_survives_even_over_cap(self):
+        clock = SimClock()
+        log = filled_log(clock)
+        enforcer = RetentionEnforcer(RetentionConfig(retention_bytes=1), clock)
+        enforcer.enforce(log)
+        assert log.message_count == 5
+
+    def test_reads_work_after_retention(self):
+        clock = SimClock()
+        log = filled_log(clock)
+        enforcer = RetentionEnforcer(
+            RetentionConfig(retention_bytes=log.size_bytes // 2), clock
+        )
+        result = enforcer.enforce(log)
+        batch = log.read(result.new_log_start_offset, max_messages=3).messages
+        assert batch[0].offset == result.new_log_start_offset
+
+
+class TestCombined:
+    def test_both_bounds_apply(self):
+        clock = SimClock()
+        log = filled_log(clock)
+        enforcer = RetentionEnforcer(
+            RetentionConfig(retention_seconds=8.0, retention_bytes=1), clock
+        )
+        result = enforcer.enforce(log)
+        assert result.segments_deleted == 3  # everything but active
+        assert result.messages_deleted == 15
+        assert result.bytes_deleted > 0

@@ -1,0 +1,149 @@
+"""Unit tests for task-local KV stores (InMemory + LSM)."""
+
+import pytest
+
+from repro.common.errors import ConfigError, StateStoreError
+from repro.processing.store import InMemoryStore, LsmStore, make_store
+
+
+@pytest.fixture(params=["memory", "lsm"])
+def store(request):
+    if request.param == "memory":
+        return InMemoryStore()
+    return LsmStore(memtable_max_entries=4, max_runs=2)
+
+
+class TestCommonBehaviour:
+    def test_get_missing_returns_none(self, store):
+        assert store.get("nope") is None
+
+    def test_put_get(self, store):
+        store.put("k", {"v": 1})
+        assert store.get("k") == {"v": 1}
+
+    def test_overwrite(self, store):
+        store.put("k", 1)
+        store.put("k", 2)
+        assert store.get("k") == 2
+
+    def test_delete(self, store):
+        store.put("k", 1)
+        store.delete("k")
+        assert store.get("k") is None
+        assert "k" not in store
+
+    def test_delete_missing_ok(self, store):
+        store.delete("ghost")
+
+    def test_contains(self, store):
+        store.put("k", 1)
+        assert "k" in store
+        assert "other" not in store
+
+    def test_items_sorted_and_live_only(self, store):
+        store.put("b", 2)
+        store.put("a", 1)
+        store.put("c", 3)
+        store.delete("b")
+        assert list(store.items()) == [("a", 1), ("c", 3)]
+
+    def test_len(self, store):
+        for i in range(5):
+            store.put(f"k{i}", i)
+        store.delete("k0")
+        assert len(store) == 4
+
+    def test_clear(self, store):
+        store.put("k", 1)
+        store.clear()
+        assert len(store) == 0
+        assert store.get("k") is None
+
+    def test_size_grows_with_entries(self, store):
+        empty = store.approximate_size_bytes()
+        store.put("key", "value" * 10)
+        assert store.approximate_size_bytes() > empty
+
+    def test_non_string_keys(self, store):
+        store.put(("composite", 1), "a")
+        store.put(42, "b")
+        assert store.get(("composite", 1)) == "a"
+        assert store.get(42) == "b"
+
+
+class TestLsmSpecifics:
+    def test_flush_on_memtable_full(self):
+        store = LsmStore(memtable_max_entries=3)
+        for i in range(3):
+            store.put(f"k{i}", i)
+        assert store.flushes == 1
+        assert store.get("k0") == 0  # served from the run
+
+    def test_newer_run_shadows_older(self):
+        store = LsmStore(memtable_max_entries=2)
+        store.put("k", "old")
+        store.put("pad1", 1)  # flush 1
+        store.put("k", "new")
+        store.put("pad2", 2)  # flush 2
+        assert store.get("k") == "new"
+
+    def test_tombstone_survives_flush(self):
+        store = LsmStore(memtable_max_entries=2)
+        store.put("k", "v")
+        store.put("pad", 1)  # flush: k lives in a run
+        store.delete("k")
+        store.put("pad2", 2)  # flush: tombstone in newer run
+        assert store.get("k") is None
+        assert "k" not in store
+
+    def test_compaction_merges_runs_and_drops_tombstones(self):
+        store = LsmStore(memtable_max_entries=2, max_runs=10)
+        store.put("a", 1)
+        store.put("b", 2)  # flush
+        store.delete("a")
+        store.put("c", 3)  # flush
+        store.compact()
+        assert list(store.items()) == [("b", 2), ("c", 3)]
+        assert store.compactions == 1
+
+    def test_auto_compaction_bounds_runs(self):
+        store = LsmStore(memtable_max_entries=1, max_runs=2)
+        for i in range(10):
+            store.put(f"k{i}", i)
+        assert len(store._runs) <= 3
+
+    def test_run_probe_costs_accumulate(self):
+        store = LsmStore(memtable_max_entries=1, max_runs=10)
+        store.put("deep", 1)
+        for i in range(5):
+            store.put(f"pad{i}", i)
+        store.get("deep")
+        deep_cost = store.last_op_cost
+        store.put("shallow", 2)
+        store.get("shallow")
+        shallow_cost = store.last_op_cost
+        assert deep_cost > shallow_cost
+
+    def test_none_value_rejected(self):
+        with pytest.raises(StateStoreError):
+            LsmStore().put("k", None)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            LsmStore(memtable_max_entries=0)
+        with pytest.raises(ConfigError):
+            LsmStore(max_runs=0)
+
+
+class TestFactory:
+    def test_make_known_types(self):
+        assert isinstance(make_store("memory"), InMemoryStore)
+        assert isinstance(make_store("lsm"), LsmStore)
+
+    def test_kwargs_forwarded(self):
+        store = make_store("lsm", memtable_max_entries=7)
+        assert store.memtable_max_entries == 7
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConfigError):
+            make_store("rocksdb")

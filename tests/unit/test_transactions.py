@@ -1,0 +1,217 @@
+"""Unit tests for exactly-once transactions (§4.3's "ongoing effort")."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError, ProducerFencedError, TransactionError
+from repro.common.records import TopicPartition
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.consumer import Consumer
+from repro.messaging.producer import Producer
+from repro.messaging.transactions import (
+    TransactionalProducer,
+    get_transaction_coordinator,
+)
+
+TP = TopicPartition("t", 0)
+
+
+def make_cluster(partitions=1) -> MessagingCluster:
+    cluster = MessagingCluster(num_brokers=3, clock=SimClock())
+    cluster.create_topic("t", num_partitions=partitions, replication_factor=3)
+    return cluster
+
+
+def committed_values(cluster, partition=0):
+    result = cluster.fetch(
+        "t", partition, 0, max_messages=10_000, isolation="read_committed"
+    )
+    return [r.value for r in result.records]
+
+
+def uncommitted_values(cluster, partition=0):
+    result = cluster.fetch("t", partition, 0, max_messages=10_000)
+    return [r.value for r in result.records]
+
+
+class TestLifecycle:
+    def test_empty_transactional_id_rejected(self):
+        with pytest.raises(ConfigError):
+            TransactionalProducer(make_cluster(), "")
+
+    def test_send_outside_transaction_rejected(self):
+        producer = TransactionalProducer(make_cluster(), "tx")
+        with pytest.raises(TransactionError):
+            producer.send("t", "v")
+
+    def test_double_begin_rejected(self):
+        producer = TransactionalProducer(make_cluster(), "tx")
+        producer.begin()
+        with pytest.raises(TransactionError):
+            producer.begin()
+
+    def test_commit_without_begin_rejected(self):
+        producer = TransactionalProducer(make_cluster(), "tx")
+        with pytest.raises(TransactionError):
+            producer.commit()
+
+
+class TestAtomicity:
+    def test_open_transaction_invisible_to_read_committed(self):
+        cluster = make_cluster()
+        producer = TransactionalProducer(cluster, "tx")
+        producer.begin()
+        producer.send("t", "pending-1")
+        producer.send("t", "pending-2")
+        assert committed_values(cluster) == []
+        producer.commit()
+        assert committed_values(cluster) == ["pending-1", "pending-2"]
+
+    def test_aborted_records_never_visible(self):
+        cluster = make_cluster()
+        producer = TransactionalProducer(cluster, "tx")
+        producer.begin()
+        producer.send("t", "doomed")
+        producer.abort()
+        producer.begin()
+        producer.send("t", "kept")
+        producer.commit()
+        assert committed_values(cluster) == ["kept"]
+
+    def test_read_uncommitted_sees_everything_but_markers(self):
+        cluster = make_cluster()
+        producer = TransactionalProducer(cluster, "tx")
+        producer.begin()
+        producer.send("t", "pending")
+        values = uncommitted_values(cluster)
+        assert values == ["pending"]
+        producer.abort()
+        values = uncommitted_values(cluster)
+        assert values == ["pending"]  # aborted but read_uncommitted shows it
+        assert committed_values(cluster) == []
+
+    def test_open_transaction_blocks_later_records(self):
+        """LSO semantics: nothing after the first open txn is delivered,
+        even non-transactional records, preserving order."""
+        cluster = make_cluster()
+        txn = TransactionalProducer(cluster, "tx")
+        plain = Producer(cluster)
+        txn.begin()
+        txn.send("t", "txn-pending")
+        plain.send("t", "plain-after", partition=0)
+        cluster.tick(0.0)
+        assert committed_values(cluster) == []
+        txn.commit()
+        cluster.tick(0.0)
+        assert committed_values(cluster) == ["txn-pending", "plain-after"]
+
+    def test_multi_partition_transaction_commits_atomically(self):
+        cluster = make_cluster(partitions=2)
+        producer = TransactionalProducer(cluster, "tx")
+        producer.begin()
+        producer.send("t", "p0", partition=0)
+        producer.send("t", "p1", partition=1)
+        assert committed_values(cluster, 0) == []
+        assert committed_values(cluster, 1) == []
+        producer.commit()
+        assert committed_values(cluster, 0) == ["p0"]
+        assert committed_values(cluster, 1) == ["p1"]
+
+    def test_interleaved_transactions_resolve_independently(self):
+        cluster = make_cluster()
+        tx_a = TransactionalProducer(cluster, "a")
+        tx_b = TransactionalProducer(cluster, "b")
+        tx_a.begin()
+        tx_b.begin()
+        tx_a.send("t", "from-a")
+        tx_b.send("t", "from-b")
+        tx_b.commit()
+        # a is still open and started first: LSO holds everything back.
+        assert committed_values(cluster) == []
+        tx_a.abort()
+        assert committed_values(cluster) == ["from-b"]
+
+
+class TestFencing:
+    def test_new_incarnation_fences_old(self):
+        cluster = make_cluster()
+        old = TransactionalProducer(cluster, "etl-7")
+        new = TransactionalProducer(cluster, "etl-7")
+        with pytest.raises(ProducerFencedError):
+            old.begin()
+        new.begin()
+        new.send("t", "from-new")
+        new.commit()
+        assert committed_values(cluster) == ["from-new"]
+
+    def test_fencing_aborts_in_flight_transaction(self):
+        cluster = make_cluster()
+        old = TransactionalProducer(cluster, "etl-7")
+        old.begin()
+        old.send("t", "zombie-write")
+        coordinator = get_transaction_coordinator(cluster)
+        TransactionalProducer(cluster, "etl-7")  # fences; aborts old txn
+        assert coordinator.fencings == 1
+        assert committed_values(cluster) == []
+        with pytest.raises(ProducerFencedError):
+            old.commit()
+
+
+class TestTransactionalOffsets:
+    def test_offsets_commit_with_transaction(self):
+        cluster = make_cluster()
+        producer = TransactionalProducer(cluster, "tx")
+        producer.begin()
+        producer.send("t", "out")
+        producer.send_offsets_to_transaction(
+            "job-x", {TopicPartition("t", 0): 42}, {"software_version": "v1"}
+        )
+        assert cluster.offset_manager.fetch("job-x", TP) is None
+        producer.commit()
+        commit = cluster.offset_manager.fetch("job-x", TP)
+        assert commit.offset == 42
+        assert commit.metadata["software_version"] == "v1"
+
+    def test_offsets_discarded_on_abort(self):
+        cluster = make_cluster()
+        producer = TransactionalProducer(cluster, "tx")
+        producer.begin()
+        producer.send("t", "out")
+        producer.send_offsets_to_transaction("job-x", {TP: 42})
+        producer.abort()
+        assert cluster.offset_manager.fetch("job-x", TP) is None
+
+
+class TestConsumerIntegration:
+    def test_read_committed_consumer_end_to_end(self):
+        cluster = make_cluster()
+        consumer = Consumer(cluster, isolation_level="read_committed")
+        consumer.assign([TP])
+        producer = TransactionalProducer(cluster, "tx")
+        producer.begin()
+        producer.send("t", "a")
+        producer.send("t", "b")
+        assert consumer.poll(10) == []
+        producer.commit()
+        cluster.tick(0.0)
+        values = [r.value for r in consumer.poll(10)]
+        assert values == ["a", "b"]
+        # Position skipped past the marker without delivering it.
+        assert consumer.position(TP) == cluster.end_offset(TP)
+
+    def test_invalid_isolation_level_rejected(self):
+        with pytest.raises(ConfigError):
+            Consumer(make_cluster(), isolation_level="serializable")
+
+    def test_transaction_state_survives_failover(self):
+        cluster = make_cluster()
+        producer = TransactionalProducer(cluster, "tx")
+        producer.begin()
+        producer.send("t", "committed-later")
+        producer.commit()
+        producer.begin()
+        producer.send("t", "aborted-later")
+        producer.abort()
+        cluster.run_until_replicated()
+        cluster.kill_broker(cluster.leader_of("t", 0))
+        assert committed_values(cluster) == ["committed-later"]
