@@ -16,8 +16,13 @@ to a topic partition, identified by a per-partition monotonically increasing
 from __future__ import annotations
 
 import sys
+from collections.abc import Mapping as _AbcMapping
 from dataclasses import dataclass, field
 from typing import Any, Mapping
+
+
+#: Per-record framing overhead charged by the log (offset, length, crc).
+RECORD_FRAMING_BYTES = 24
 
 
 def estimate_size(value: Any) -> int:
@@ -26,9 +31,36 @@ def estimate_size(value: Any) -> int:
     The page cache and cost model charge I/O by byte count, so sizes need to
     be stable and cheap, not exact.  Strings/bytes use their true length;
     containers recurse; other scalars use fixed costs.
+
+    This sits on the per-message append path, so the common concrete types
+    (str/dict/int/...) take exact-``type`` fast paths; subclasses and exotic
+    containers fall through to the isinstance chain with identical results.
     """
     if value is None:
         return 0
+    tp = type(value)
+    if tp is str:
+        return len(value.encode("utf-8"))
+    if tp is dict:
+        total = 0
+        for k, v in value.items():
+            total += estimate_size(k) + estimate_size(v) + 2
+        return total
+    if tp is int:
+        return 8
+    if tp is bytes:
+        return len(value)
+    if tp is float:
+        return 8
+    if tp is bool:
+        return 1
+    if tp is list or tp is tuple:
+        return sum(estimate_size(item) + 1 for item in value)
+    return _estimate_size_slow(value)
+
+
+def _estimate_size_slow(value: Any) -> int:
+    """Subclass / exotic-type fallback for :func:`estimate_size`."""
     if isinstance(value, bytes):
         return len(value)
     if isinstance(value, str):
@@ -39,7 +71,7 @@ def estimate_size(value: Any) -> int:
         return 8
     if isinstance(value, float):
         return 8
-    if isinstance(value, Mapping):
+    if isinstance(value, _AbcMapping):
         return sum(
             estimate_size(k) + estimate_size(v) + 2 for k, v in value.items()
         )
@@ -74,7 +106,7 @@ class ProducerRecord:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class StoredMessage:
     """A message at rest inside a log segment.
 
@@ -96,13 +128,18 @@ class StoredMessage:
                 estimate_size(self.key)
                 + estimate_size(self.value)
                 + estimate_size(self.headers)
-                + 24  # per-record framing overhead (offset, length, crc)
+                + RECORD_FRAMING_BYTES
             )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ConsumerRecord:
-    """A message as delivered to a consumer, with full provenance."""
+    """A message as delivered to a consumer, with full provenance.
+
+    ``size`` (payload bytes, excluding log framing) is computed once at
+    construction — fetch paths that already know the stored size pass it in
+    so quota/WAN accounting never re-walks keys, values and headers.
+    """
 
     topic: str
     partition: int
@@ -111,14 +148,17 @@ class ConsumerRecord:
     value: Any
     timestamp: float
     headers: Mapping[str, Any] = field(default_factory=dict)
+    size: int = 0
 
-    @property
-    def size(self) -> int:
-        return (
-            estimate_size(self.key)
-            + estimate_size(self.value)
-            + estimate_size(dict(self.headers))
-        )
+    def __post_init__(self) -> None:
+        if self.size == 0:
+            object.__setattr__(
+                self,
+                "size",
+                estimate_size(self.key)
+                + estimate_size(self.value)
+                + estimate_size(dict(self.headers)),
+            )
 
 
 @dataclass(frozen=True)

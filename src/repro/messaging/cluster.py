@@ -33,7 +33,12 @@ from repro.common.errors import (
     TopicNotFoundError,
 )
 from repro.common.metrics import MetricsRegistry
-from repro.common.records import ConsumerRecord, TopicPartition, estimate_size
+from repro.common.records import (
+    RECORD_FRAMING_BYTES,
+    ConsumerRecord,
+    TopicPartition,
+    estimate_size,
+)
 from repro.cluster.controller import ClusterController
 from repro.cluster.coordinator import Coordinator
 from repro.storage.log import LogConfig
@@ -375,6 +380,10 @@ class MessagingCluster:
                 value=m.value,
                 timestamp=m.timestamp,
                 headers=m.headers,
+                # Stored size minus log framing == the payload size the
+                # record would recompute; carrying it avoids re-walking
+                # keys/values/headers on every quota/WAN accounting pass.
+                size=m.size - RECORD_FRAMING_BYTES,
             )
             for m in result.messages
         ]

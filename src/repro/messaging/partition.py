@@ -29,7 +29,7 @@ from repro.common.errors import (
     StaleEpochError,
 )
 from repro.common.records import StoredMessage, TopicPartition
-from repro.storage.log import AppendResult, PartitionLog, ReadResult
+from repro.storage.log import PartitionLog, ReadResult
 
 ROLE_LEADER = "leader"
 ROLE_FOLLOWER = "follower"
@@ -133,27 +133,50 @@ class PartitionReplica:
                     f"producer {producer_id} replayed seq {producer_seq} "
                     "with no cached result"
                 )
-        latency = 0.0
-        base_offset: int | None = None
-        last: AppendResult | None = None
-        for key, value, timestamp, headers in entries:
-            if producer_id is not None and producer_seq is not None:
-                # Producer state travels inside the log (as in Kafka batch
-                # headers) so a newly elected leader can keep deduplicating.
-                headers = {**headers, "__pid": producer_id, "__seq": producer_seq}
-            last = self.log.append(key, value, timestamp, headers)
-            self._track_transaction(headers, last.offset)
-            if base_offset is None:
-                base_offset = last.offset
-            latency += last.latency
-        assert base_offset is not None and last is not None
-        result = ProduceResult(base_offset, last.offset, latency)
+        if producer_id is not None and producer_seq is not None:
+            # Producer state travels inside the log (as in Kafka batch
+            # headers) so a newly elected leader can keep deduplicating.
+            entries = [
+                (
+                    key,
+                    value,
+                    timestamp,
+                    {**headers, "__pid": producer_id, "__seq": producer_seq},
+                )
+                for key, value, timestamp, headers in entries
+            ]
+        start_offset = self.log.log_end_offset
+        try:
+            batch = self.log.append_batch(entries)
+        except ConfigError:
+            # Per-record semantics: records before the failing one were
+            # appended, so their transaction state must still be tracked.
+            self._track_entry_transactions(entries, start_offset, self.log.log_end_offset)
+            raise
+        self._track_entry_transactions(entries, batch.base_offset, self.log.log_end_offset)
+        result = ProduceResult(batch.base_offset, batch.last_offset, batch.latency)
         if producer_id is not None and producer_seq is not None:
             self._producer_seqs[producer_id] = producer_seq
             self._producer_results[(producer_id, producer_seq)] = result
         if self._only_isr_member():
             self._advance_high_watermark()
         return result
+
+    def _track_entry_transactions(
+        self,
+        entries: list[tuple[Any, Any, float, dict[str, Any]]],
+        start_offset: int,
+        end_offset: int,
+    ) -> None:
+        """Track transaction markers for the appended prefix of ``entries``."""
+        offset = start_offset
+        for entry in entries:
+            if offset >= end_offset:
+                break
+            headers = entry[3]
+            if headers:
+                self._track_transaction(headers, offset)
+            offset += 1
 
     def _only_isr_member(self) -> bool:
         return self.role == ROLE_LEADER and set(self._isr) <= {self.broker_id}
@@ -214,12 +237,18 @@ class PartitionReplica:
     # -- replication bookkeeping ---------------------------------------------------------
 
     def replicate_batch(self, messages: list[StoredMessage]) -> float:
-        """Follower-side append of records copied from the leader."""
+        """Follower-side append of records copied from the leader.
+
+        The whole fetched batch lands through one
+        :meth:`~repro.storage.log.PartitionLog.append_stored_batch` call —
+        one roll/index/page-cache pass instead of one per record.
+        """
         if self.role == ROLE_LEADER:
             raise ConfigError(f"{self.partition}: leader cannot replicate from itself")
-        latency = 0.0
-        for message in messages:
-            copy = StoredMessage(
+        if not messages:
+            return 0.0
+        copies = [
+            StoredMessage(
                 key=message.key,
                 value=message.value,
                 timestamp=message.timestamp,
@@ -227,8 +256,12 @@ class PartitionReplica:
                 headers=dict(message.headers),
                 size=message.size,
             )
-            latency += self.log.append_stored(copy).latency
-            self._absorb_producer_state(copy)
+            for message in messages
+        ]
+        latency = self.log.append_stored_batch(copies).latency
+        for copy in copies:
+            if copy.headers:
+                self._absorb_producer_state(copy)
         return latency
 
     def _track_transaction(self, headers: dict[str, Any], offset: int) -> None:

@@ -10,7 +10,7 @@ claim.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 
 from repro.common.errors import ConfigError
 
@@ -40,6 +40,74 @@ class SparseOffsetIndex:
             self._bytes_since_entry = 0
             added = True
         self._bytes_since_entry += record_size
+        return added
+
+    def extend(self, entries: list[tuple[int, int, int]]) -> int:
+        """Bulk :meth:`maybe_add` of ``(offset, position, size)`` triples.
+
+        One call per appended batch instead of one per record; state after
+        the call is identical to N sequential ``maybe_add`` calls.  Returns
+        the number of index entries added.
+        """
+        offsets = self._offsets
+        positions = self._positions
+        interval = self.interval_bytes
+        accumulated = self._bytes_since_entry
+        added = 0
+        for offset, position, size in entries:
+            if offsets and offset <= offsets[-1]:
+                self._bytes_since_entry = accumulated
+                raise ConfigError(
+                    f"index offsets must increase: {offset} <= {offsets[-1]}"
+                )
+            if accumulated >= interval:
+                offsets.append(offset)
+                positions.append(position)
+                accumulated = 0
+                added += 1
+            accumulated += size
+        self._bytes_since_entry = accumulated
+        return added
+
+    def extend_run(
+        self, offsets: list[int], positions: list[int], end_position: int
+    ) -> int:
+        """Bulk :meth:`maybe_add` for a validated, offset-ordered run.
+
+        ``offsets``/``positions`` are the run's parallel arrays (positions
+        are absolute segment byte positions, strictly increasing);
+        ``end_position`` is one past the run's last byte.  Because index
+        entries are sparse (one per ``interval_bytes``), this jumps from
+        entry to entry with a bisect over ``positions`` instead of touching
+        every record; state afterwards is identical to N sequential
+        ``maybe_add`` calls.
+
+        The caller guarantees offsets strictly increase within the run; only
+        the run's head is checked against the last existing entry.
+        """
+        if not offsets:
+            return 0
+        if self._offsets and offsets[0] <= self._offsets[-1]:
+            raise ConfigError(
+                f"index offsets must increase: {offsets[0]} <= "
+                f"{self._offsets[-1]}"
+            )
+        interval = self.interval_bytes
+        base = positions[0]
+        # First record j with interval_bytes accumulated before it:
+        # _bytes_since_entry + (positions[j] - base) >= interval.
+        j = bisect_left(positions, base + interval - self._bytes_since_entry)
+        n = len(offsets)
+        added = 0
+        while j < n:
+            self._offsets.append(offsets[j])
+            self._positions.append(positions[j])
+            added += 1
+            j = bisect_left(positions, positions[j] + interval, j + 1)
+        if added:
+            self._bytes_since_entry = end_position - self._positions[-1]
+        else:
+            self._bytes_since_entry += end_position - base
         return added
 
     def lookup(self, offset: int) -> int:

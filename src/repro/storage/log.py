@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Any
 
 from repro.common.clock import Clock, SimClock
@@ -51,6 +52,21 @@ class AppendResult:
 
     offset: int
     latency: float
+
+
+@dataclass
+class BatchAppendResult:
+    """Outcome of a batched append: offset range plus charged latency.
+
+    ``latency`` is the same total the per-record path would have charged
+    (record costs are accumulated in append order), so batched and looped
+    appends are indistinguishable in simulated time.
+    """
+
+    base_offset: int
+    last_offset: int
+    latency: float
+    count: int
 
 
 @dataclass
@@ -93,6 +109,10 @@ class PartitionLog:
         self._indexes: dict[int, SparseOffsetIndex] = {
             0: SparseOffsetIndex(self.config.index_interval_bytes)
         }
+        # Cached base offsets of self._segments, kept in sync by every
+        # mutation (roll/truncate/drop/merge) so reads bisect without
+        # rebuilding an O(#segments) list per call.
+        self._bases: list[int] = [0]
         self._next_offset = 0
         self._log_start_offset = 0
 
@@ -155,6 +175,162 @@ class PartitionLog:
         self._next_offset = message.offset + 1
         return AppendResult(offset=message.offset, latency=latency)
 
+    def append_batch(
+        self,
+        entries: list[tuple[Any, Any, float | None, dict[str, Any] | None]],
+    ) -> BatchAppendResult:
+        """Append a batch of ``(key, value, timestamp, headers)`` at the tail.
+
+        Semantically identical to one :meth:`append` per entry — same offset
+        assignment, same ``max_message_bytes`` enforcement (records before an
+        oversized one are appended, then :class:`ConfigError` raised), same
+        segment roll points, same index entries, and the same total simulated
+        latency — but charges the page cache once per segment run and updates
+        the index in bulk, so the wall-clock cost amortizes over the batch.
+        """
+        now = self.clock.now()
+        messages: list[StoredMessage] = []
+        error: ConfigError | None = None
+        offset = self._next_offset
+        max_bytes = self.config.max_message_bytes
+        for key, value, timestamp, headers in entries:
+            message = StoredMessage(
+                key=key,
+                value=value,
+                timestamp=timestamp if timestamp is not None else now,
+                offset=offset,
+                headers=headers if headers is not None else {},
+            )
+            if message.size > max_bytes:
+                error = ConfigError(
+                    f"message of {message.size}B exceeds max_message_bytes="
+                    f"{max_bytes}"
+                )
+                break
+            messages.append(message)
+            offset += 1
+        latency = self._append_run(messages, now)
+        if error is not None:
+            raise error
+        if not messages:
+            return BatchAppendResult(
+                self._next_offset, self._next_offset - 1, 0.0, 0
+            )
+        return BatchAppendResult(
+            messages[0].offset, messages[-1].offset, latency, len(messages)
+        )
+
+    def append_stored_batch(
+        self, messages: list[StoredMessage]
+    ) -> BatchAppendResult:
+        """Batched :meth:`append_stored`: a follower copying a fetched batch.
+
+        Offsets must continue the leader's sequence (strictly increasing,
+        starting at or beyond the local end offset; gaps from compaction are
+        allowed).  Records before an out-of-order one are appended before
+        :class:`ConfigError` is raised, matching the per-record loop.
+        """
+        now = self.clock.now()
+        valid = len(messages)
+        error: ConfigError | None = None
+        expected = self._next_offset
+        for i, message in enumerate(messages):
+            if message.offset < expected:
+                error = ConfigError(
+                    f"replica append out of order: {message.offset} < "
+                    f"{expected}"
+                )
+                valid = i
+                break
+            expected = message.offset + 1
+        run = messages[:valid] if valid < len(messages) else messages
+        latency = self._append_run(run, now)
+        if error is not None:
+            raise error
+        if not run:
+            return BatchAppendResult(
+                self._next_offset, self._next_offset - 1, 0.0, 0
+            )
+        return BatchAppendResult(
+            run[0].offset, run[-1].offset, latency, len(run)
+        )
+
+    def _append_run(self, messages: list[StoredMessage], now: float) -> float:
+        """Append pre-built, offset-ordered records, amortizing roll checks,
+        index updates and page-cache charges over segment-contiguous chunks.
+
+        Returns the charged latency; advances ``_next_offset`` past the last
+        record.  Roll decisions replay the per-record rule exactly (an empty
+        active segment always accepts a record; otherwise the segment rolls
+        when byte or message capacity would be exceeded).
+        """
+        if not messages:
+            return 0.0
+        config = self.config
+        segment_max_bytes = config.segment_max_bytes
+        segment_max_messages = config.segment_max_messages
+        sizes = [m.size for m in messages]
+        offsets = [m.offset for m in messages]
+        # cum[j] = bytes of the first j records; strictly increasing (every
+        # record carries at least its framing bytes), so chunk-fit decisions
+        # are a bisect rather than a per-record scan.
+        cum = list(accumulate(sizes, initial=0))
+        latency = 0.0
+        i = 0
+        n = len(messages)
+        vnext = self._next_offset
+        while i < n:
+            active = self._segments[-1]
+            count = active.message_count
+            # Largest k where messages[i:i+k] pass the per-record roll rule:
+            # bytes — first record whose cumulative size would overflow the
+            # segment; messages — remaining capacity.
+            k = (
+                bisect_right(cum, cum[i] + segment_max_bytes - active.size_bytes)
+                - 1
+                - i
+            )
+            count_room = segment_max_messages - count
+            if count_room < k:
+                k = count_room
+            if n - i < k:
+                k = n - i
+            if k <= 0:
+                if count == 0:
+                    # An empty active segment always accepts one record,
+                    # even an oversized one (per-record roll semantics).
+                    k = 1
+                else:
+                    # Active segment is full: seal and roll, as _maybe_roll
+                    # would.
+                    active.seal()
+                    active = LogSegment(vnext, now)
+                    self._segments.append(active)
+                    self._bases.append(vnext)
+                    self._indexes[vnext] = SparseOffsetIndex(
+                        config.index_interval_bytes
+                    )
+                    continue
+            end = i + k
+            chunk = messages[i:end]
+            chunk_offsets = offsets[i:end]
+            start = active.size_bytes
+            base = start - cum[i]
+            chunk_positions = [base + c for c in cum[i:end]]
+            active._extend_trusted(
+                chunk, chunk_offsets, chunk_positions, base + cum[end], now
+            )
+            self._indexes[active.base_offset].extend_run(
+                chunk_offsets, chunk_positions, base + cum[end]
+            )
+            latency = self.page_cache.write_batch(
+                self._file_id(active), start, sizes[i:end], latency
+            )
+            vnext = chunk_offsets[-1] + 1
+            i = end
+        self._next_offset = vnext
+        return latency
+
     def _maybe_roll(self, incoming_size: int, now: float) -> LogSegment:
         active = self._segments[-1]
         full = (
@@ -165,6 +341,7 @@ class PartitionLog:
             active.seal()
             active = LogSegment(self._next_offset, now)
             self._segments.append(active)
+            self._bases.append(active.base_offset)
             self._indexes[active.base_offset] = SparseOffsetIndex(
                 self.config.index_interval_bytes
             )
@@ -196,42 +373,45 @@ class PartitionLog:
         byte_budget = max_bytes if max_bytes is not None else 1 << 62
         seg_idx = self._segment_index_for(offset)
         cursor = offset
-        while seg_idx < len(self._segments) and len(collected) < max_messages:
-            segment = self._segments[seg_idx]
+        segments = self._segments
+        while seg_idx < len(segments) and len(collected) < max_messages:
+            segment = segments[seg_idx]
             # Index probe: one RAM-resident binary-search per segment touched.
             latency += self.cost_model.request_overhead / 10
             self._indexes[segment.base_offset].lookup(cursor)
-            batch = segment.read_from(cursor, max_messages - len(collected))
-            kept: list[StoredMessage] = []
+            view = segment.read_from(cursor, max_messages - len(collected))
             budget_hit = False
-            for message in batch:
-                over_budget = message.size > byte_budget
+            if view.messages:
+                keep = view.prefix_within(byte_budget)
                 # Kafka semantics: always deliver at least one record so an
                 # oversized message cannot wedge a consumer.
-                if over_budget and (collected or kept):
+                if keep == 0 and not collected:
+                    keep = 1
+                if keep < len(view.messages):
                     budget_hit = True
-                    break
-                kept.append(message)
-                byte_budget -= message.size
-            if kept:
-                start = segment.position_of(kept[0].offset)
-                nbytes = sum(m.size for m in kept)
-                latency += self.page_cache.read(
-                    self._file_id(segment), start, nbytes
-                )
-                collected.extend(kept)
-                cursor = kept[-1].offset + 1
+                if keep:
+                    kept = (
+                        view.messages
+                        if keep == len(view.messages)
+                        else view.messages[:keep]
+                    )
+                    nbytes = view.prefix_bytes(keep)
+                    latency += self.page_cache.read(
+                        self._file_id(segment), view.start_position, nbytes
+                    )
+                    collected.extend(kept)
+                    byte_budget -= nbytes
+                    cursor = kept[-1].offset + 1
             if budget_hit:
                 break
             seg_idx += 1
-            if seg_idx < len(self._segments):
-                cursor = max(cursor, self._segments[seg_idx].base_offset)
+            if seg_idx < len(segments):
+                cursor = max(cursor, segments[seg_idx].base_offset)
         next_offset = collected[-1].offset + 1 if collected else offset
         return ReadResult(collected, latency, self._next_offset, next_offset)
 
     def _segment_index_for(self, offset: int) -> int:
-        bases = [s.base_offset for s in self._segments]
-        idx = bisect_right(bases, offset) - 1
+        idx = bisect_right(self._bases, offset) - 1
         if idx < 0:
             idx = 0
         # Compaction/retention may leave the target segment empty or the
@@ -285,6 +465,7 @@ class PartitionLog:
             self._indexes[offset] = SparseOffsetIndex(
                 self.config.index_interval_bytes
             )
+            self._bases = [offset]
         else:
             tail = self._segments[-1]
             survivors = [m for m in tail.messages() if m.offset < offset]
@@ -298,6 +479,7 @@ class PartitionLog:
             if tail.sealed:
                 # Truncated into a sealed segment: it becomes active again.
                 tail.sealed = False
+            self._bases = [s.base_offset for s in self._segments]
         self._next_offset = min(self._next_offset, offset)
         return removed
 
@@ -339,6 +521,7 @@ class PartitionLog:
                 self.config.index_interval_bytes
             )
             self._log_start_offset = self._next_offset
+        self._bases = [s.base_offset for s in self._segments]
         return freed
 
     def rewrite_segment(
@@ -377,11 +560,12 @@ class PartitionLog:
                 new_segments.append(group[0])
             else:
                 merged = LogSegment(group[0].base_offset, self.clock.now())
+                bulk: list[StoredMessage] = []
                 for old in group:
-                    for message in old.messages():
-                        merged.append(message, self.clock.now())
+                    bulk.extend(old.messages())
                     self._indexes.pop(old.base_offset, None)
                     self.page_cache.forget_file(self._file_id(old))
+                merged.append_bulk(bulk, self.clock.now())
                 merged.seal()
                 self._indexes[merged.base_offset] = SparseOffsetIndex(
                     self.config.index_interval_bytes
@@ -410,6 +594,7 @@ class PartitionLog:
             group_msgs += segment.message_count
         flush_group()
         self._segments = new_segments
+        self._bases = [s.base_offset for s in new_segments]
         return eliminated
 
     # -- introspection ----------------------------------------------------------------

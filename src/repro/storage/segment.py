@@ -7,16 +7,79 @@ rewrite preserving offsets).
 
 Offsets inside a segment are not necessarily contiguous: compaction removes
 superseded records but survivors keep their original offsets, exactly as in
-Kafka.  Reads therefore locate records by binary search on offset.
+Kafka.  Reads therefore locate records by binary search on offset; the
+segment keeps parallel ``offsets`` and ``positions`` arrays alongside the
+records so lookups never rebuild a key list and byte accounting is prefix-sum
+arithmetic rather than per-record summation.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from typing import Any, Iterator
 
 from repro.common.errors import ConfigError
 from repro.common.records import StoredMessage
+
+
+class SegmentView:
+    """A zero-copy read view over a contiguous run of segment records.
+
+    Produced by :meth:`LogSegment.read_from`.  ``messages`` is the record
+    slice; ``start_position`` is the first record's byte position in the
+    segment; :meth:`prefix_bytes` returns the byte size of the first ``k``
+    records in O(1) using the segment's positions (prefix-sum) array, so
+    byte-budget accounting never re-sums record sizes.
+    """
+
+    __slots__ = ("messages", "start_index", "start_position", "_end_positions")
+
+    def __init__(
+        self,
+        messages: list[StoredMessage],
+        start_index: int,
+        start_position: int,
+        end_positions: list[int],
+    ) -> None:
+        self.messages = messages
+        self.start_index = start_index
+        self.start_position = start_position
+        # end_positions[i] is the byte position one past record
+        # start_index + i; a plain slice of the segment's cumulative array.
+        self._end_positions = end_positions
+
+    def prefix_bytes(self, count: int) -> int:
+        """Total bytes of the first ``count`` records of the view."""
+        if count <= 0:
+            return 0
+        return self._end_positions[count - 1] - self.start_position
+
+    def prefix_within(self, byte_budget: int) -> int:
+        """Largest record count whose total size fits in ``byte_budget``.
+
+        O(log n) bisect over the cumulative positions instead of a
+        per-record remaining-budget loop.
+        """
+        if not self.messages:
+            return 0
+        limit = self.start_position + byte_budget
+        return bisect_left(self._end_positions, limit + 1)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __iter__(self) -> Iterator[StoredMessage]:
+        return iter(self.messages)
+
+    def __getitem__(self, index):
+        return self.messages[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SegmentView):
+            return self.messages == other.messages
+        if isinstance(other, list):
+            return self.messages == other
+        return NotImplemented
 
 
 class LogSegment:
@@ -33,6 +96,7 @@ class LogSegment:
         self.created_at = created_at
         self.sealed = False
         self._messages: list[StoredMessage] = []
+        self._offsets: list[int] = []  # offset of each record (bisect key)
         self._positions: list[int] = []  # start byte of each record
         self._size_bytes = 0
         self.last_append_at = created_at
@@ -46,17 +110,85 @@ class LogSegment:
                 f"segment@{self.base_offset} is sealed; appends go to the "
                 "active segment"
             )
-        if self._messages and message.offset <= self._messages[-1].offset:
+        if self._offsets and message.offset <= self._offsets[-1]:
             raise ConfigError(
                 f"offset {message.offset} not greater than last "
-                f"{self._messages[-1].offset}"
+                f"{self._offsets[-1]}"
             )
         position = self._size_bytes
         self._messages.append(message)
+        self._offsets.append(message.offset)
         self._positions.append(position)
         self._size_bytes += message.size
         self.last_append_at = now
         return position
+
+    def append_bulk(self, messages: list[StoredMessage], now: float) -> int:
+        """Append an offset-ordered run of records in one pass.
+
+        Returns the start byte position of the first record.  Equivalent to
+        N :meth:`append` calls but with a single validation and one extend
+        per parallel array instead of N list growths.
+        """
+        if not messages:
+            return self._size_bytes
+        if self.sealed:
+            raise ConfigError(
+                f"segment@{self.base_offset} is sealed; appends go to the "
+                "active segment"
+            )
+        first = messages[0].offset
+        if self._offsets and first <= self._offsets[-1]:
+            raise ConfigError(
+                f"offset {first} not greater than last {self._offsets[-1]}"
+            )
+        start = self._size_bytes
+        position = start
+        offsets = []
+        positions = []
+        previous = first - 1
+        for message in messages:
+            if message.offset <= previous:
+                raise ConfigError(
+                    f"offset {message.offset} not greater than last {previous}"
+                )
+            previous = message.offset
+            offsets.append(message.offset)
+            positions.append(position)
+            position += message.size
+        self._messages.extend(messages)
+        self._offsets.extend(offsets)
+        self._positions.extend(positions)
+        self._size_bytes = position
+        self.last_append_at = now
+        return start
+
+    def _extend_trusted(
+        self,
+        messages: list[StoredMessage],
+        offsets: list[int],
+        positions: list[int],
+        size_bytes: int,
+        now: float,
+    ) -> None:
+        """Extend with a pre-validated run (:meth:`append_bulk` without the
+        per-record checks).
+
+        The caller — :meth:`PartitionLog._append_run` — has already
+        established that offsets strictly increase and follow the current
+        tail, and supplies the parallel arrays plus the resulting segment
+        size so nothing is recomputed per record.
+        """
+        if self.sealed:
+            raise ConfigError(
+                f"segment@{self.base_offset} is sealed; appends go to the "
+                "active segment"
+            )
+        self._messages.extend(messages)
+        self._offsets.extend(offsets)
+        self._positions.extend(positions)
+        self._size_bytes = size_bytes
+        self.last_append_at = now
 
     def seal(self) -> None:
         """Mark the segment read-only; sealed segments are retention/compaction
@@ -65,25 +197,32 @@ class LogSegment:
 
     # -- read path ------------------------------------------------------------
 
-    def read_from(self, offset: int, max_messages: int) -> list[StoredMessage]:
-        """Records with offset >= ``offset``, at most ``max_messages``.
+    def read_from(self, offset: int, max_messages: int) -> SegmentView:
+        """View of records with offset >= ``offset``, at most ``max_messages``.
 
         If ``offset`` was compacted away, reading resumes at the next
-        surviving record (Kafka fetch semantics).
+        surviving record (Kafka fetch semantics).  The view carries the byte
+        position of its first record and a cumulative-size slice so callers
+        do no per-record size arithmetic.
         """
-        idx = self._find_index(offset)
-        return self._messages[idx : idx + max_messages]
+        idx = bisect_left(self._offsets, offset)
+        end = idx + max_messages
+        batch = self._messages[idx:end]
+        if not batch:
+            return SegmentView([], idx, self._size_bytes, [])
+        end = idx + len(batch)
+        end_positions = self._positions[idx + 1 : end]
+        end_positions.append(
+            self._positions[end] if end < len(self._positions) else self._size_bytes
+        )
+        return SegmentView(batch, idx, self._positions[idx], end_positions)
 
     def position_of(self, offset: int) -> int:
         """Start byte of the first record with offset >= ``offset``."""
-        idx = self._find_index(offset)
+        idx = bisect_left(self._offsets, offset)
         if idx >= len(self._positions):
             return self._size_bytes
         return self._positions[idx]
-
-    def _find_index(self, offset: int) -> int:
-        keys = [m.offset for m in self._messages]
-        return bisect_left(keys, offset)
 
     def offset_for_timestamp(self, timestamp: float) -> int | None:
         """Smallest offset whose record timestamp >= ``timestamp``."""
@@ -108,6 +247,7 @@ class LogSegment:
             raise ConfigError("survivors must be offset-ordered")
         old_size = self._size_bytes
         self._messages = list(survivors)
+        self._offsets = offsets
         self._positions = []
         position = 0
         for message in self._messages:
@@ -132,11 +272,11 @@ class LogSegment:
 
     @property
     def first_offset(self) -> int | None:
-        return self._messages[0].offset if self._messages else None
+        return self._offsets[0] if self._offsets else None
 
     @property
     def last_offset(self) -> int | None:
-        return self._messages[-1].offset if self._messages else None
+        return self._offsets[-1] if self._offsets else None
 
     @property
     def last_timestamp(self) -> float | None:
