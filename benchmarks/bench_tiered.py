@@ -1,0 +1,209 @@
+"""Tiered storage benchmark: hot-vs-cold read cost and archive backfill.
+
+Measures **simulated** time (the cost-model channel, bit-reproducible
+anywhere) across three claims the tiered subsystem makes:
+
+* *hot reads unaffected* — a tiered topic serves its hot tail at exactly the
+  latency an untiered topic does; archiving old segments must never tax the
+  nearline path;
+* *cold reads charged to the cold model* — the first touch of archived
+  history pays the object-store round trip + hydration stream (and the DFS's
+  own mechanics), visibly dearer than a hot read; repeat reads of the same
+  history serve from the hydration cache at near-hot cost;
+* *backfill completeness* — a full rewind to offset 0 of a
+  retention-truncated tiered topic returns byte-identical records, at
+  identical offsets, to an unbounded topic fed the same produce sequence
+  (§2.2 rewindability).
+
+Every run writes ``BENCH_tiered.json`` at the repo root with pass/fail
+checks so CI can smoke it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tiered.py [--quick] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.common.costmodel import DEFAULT_COST_MODEL  # noqa: E402
+from repro.common.records import TopicPartition  # noqa: E402
+from repro.messaging.cluster import MessagingCluster  # noqa: E402
+from repro.messaging.topic import TopicConfig  # noqa: E402
+from repro.storage.log import LogConfig  # noqa: E402
+from repro.storage.retention import RetentionConfig  # noqa: E402
+from repro.storage.tiered import TieredConfig  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_tiered.json"
+
+
+def build_cluster(messages: int, per_segment: int, tiered: bool,
+                  retention: bool = True) -> MessagingCluster:
+    """A 1-partition topic with ``messages`` records and expired history."""
+    cluster = MessagingCluster(num_brokers=3, maintenance_interval=1.0)
+    cluster.create_topic(
+        TopicConfig(
+            name="events",
+            num_partitions=1,
+            replication_factor=3,
+            retention=RetentionConfig(retention_seconds=5.0) if retention
+            else RetentionConfig(),
+            log=LogConfig(segment_max_messages=per_segment),
+            tiered=TieredConfig() if tiered else None,
+        )
+    )
+    for i in range(messages):
+        cluster.produce(
+            "events", 0, [(f"k{i}", {"i": i, "pad": "x" * 64}, None, {})],
+            acks="all",
+        )
+        cluster.tick(1.0)
+    cluster.run_until_replicated()
+    for _ in range(10):
+        cluster.tick(1.0)
+    return cluster
+
+
+def scan(cluster: MessagingCluster, start: int, batch: int = 100):
+    """Drain the partition from ``start``; returns (records, simulated s)."""
+    records, latency, cursor = [], 0.0, start
+    end = cluster.log_end_offset(TopicPartition("events", 0))
+    while cursor < end:
+        result = cluster.fetch("events", 0, cursor, max_messages=batch)
+        if not result.records:
+            break
+        records.extend(result.records)
+        latency += result.latency
+        cursor = result.next_offset
+    return records, latency
+
+
+def bench_hot_reads(messages: int, per_segment: int) -> dict:
+    """Head-of-log reads on a tiered vs. an untiered topic must cost the same."""
+    out = {}
+    for arm in ("untiered", "tiered"):
+        cluster = build_cluster(messages, per_segment, tiered=arm == "tiered")
+        tp = TopicPartition("events", 0)
+        start = cluster._leader_replica(tp).log.log_start_offset
+        _records, latency = scan(cluster, start)
+        out[arm] = {"hot_start": start, "simulated_s": latency}
+    out["equal"] = out["tiered"]["simulated_s"] == out["untiered"]["simulated_s"]
+    return out
+
+
+def bench_cold_reads(messages: int, per_segment: int) -> dict:
+    """First-touch backfill pays the cold model; repeats serve from cache."""
+    cluster = build_cluster(messages, per_segment, tiered=True)
+    tp = TopicPartition("events", 0)
+    leader = cluster._leader_replica(tp)
+    archived_segments = leader.cold_tier.manifest.segment_count
+    hot_start = leader.log.log_start_offset
+
+    cold_records, cold_s = scan(cluster, 0)
+    cached_records, cached_s = scan(cluster, 0)
+    # A same-size scan entirely inside the hot tier, for scale.
+    hot_records, hot_s = scan(cluster, hot_start)
+
+    min_cold = archived_segments * DEFAULT_COST_MODEL.cold_fetch_overhead
+    stats = leader.cold_tier.stats()
+    return {
+        "archived_segments": archived_segments,
+        "archived_bytes": stats["archived_bytes"],
+        "hot_start_offset": hot_start,
+        "first_backfill_s": cold_s,
+        "cached_backfill_s": cached_s,
+        "hot_scan_s": hot_s,
+        "min_cold_fetch_s": min_cold,
+        "cold_hit_ratio": stats["cold_hit_ratio"],
+        "cold_cost_charged": cold_s >= min_cold,
+        "cache_effective": cached_s < cold_s,
+    }
+
+
+def bench_backfill(messages: int, per_segment: int) -> dict:
+    """Full rewind of a truncated tiered topic == the unbounded topic."""
+    tiered = build_cluster(messages, per_segment, tiered=True)
+    unbounded = build_cluster(messages, per_segment, tiered=False,
+                              retention=False)
+    got, tiered_s = scan(tiered, 0)
+    want, unbounded_s = scan(unbounded, 0)
+    identical = (
+        [(r.offset, r.key, r.value, r.timestamp) for r in got]
+        == [(r.offset, r.key, r.value, r.timestamp) for r in want]
+    )
+    return {
+        "messages": messages,
+        "records_read": len(got),
+        "complete": len(got) == messages,
+        "byte_identical": identical,
+        "tiered_backfill_s": tiered_s,
+        "unbounded_scan_s": unbounded_s,
+    }
+
+
+def run_all(quick: bool) -> dict:
+    messages = 60 if quick else 400
+    per_segment = 5 if quick else 20
+    print(f"bench_tiered: {messages} msgs, {per_segment}/segment")
+    hot = bench_hot_reads(messages, per_segment)
+    cold = bench_cold_reads(messages, per_segment)
+    backfill = bench_backfill(messages, per_segment)
+    for name, section in (("hot", hot), ("cold", cold), ("backfill", backfill)):
+        print(f"  {name}: " + ", ".join(
+            f"{k}={v}" for k, v in section.items() if not isinstance(v, dict)
+        ))
+    checks = {
+        "hot_reads_unaffected": hot["equal"],
+        "cold_cost_charged": cold["cold_cost_charged"],
+        "hydration_cache_effective": cold["cache_effective"],
+        "backfill_complete": backfill["complete"] and backfill["byte_identical"],
+    }
+    return {
+        "schema": "bench_tiered/v1",
+        "quick": quick,
+        "python": platform.python_version(),
+        "cold_model": {
+            "cold_fetch_overhead_s": DEFAULT_COST_MODEL.cold_fetch_overhead,
+            "cold_read_bandwidth": DEFAULT_COST_MODEL.cold_read_bandwidth,
+            "cold_write_bandwidth": DEFAULT_COST_MODEL.cold_write_bandwidth,
+        },
+        "hot_reads": hot,
+        "cold_reads": cold,
+        "backfill": backfill,
+        "checks": checks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small message counts for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    report = run_all(args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    failed = [name for name, ok in report["checks"].items() if not ok]
+    if failed:
+        print(f"FAIL: {', '.join(failed)}")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,14 @@ class CostModel:
     dfs_open_overhead: float = 20e-3      # namenode round trip + block lookup
     dfs_block_size: int = 64 * 1024 * 1024
 
+    # Cold tier (offline object store reached across the serving/offline
+    # boundary).  Cold fetches pay a request round trip much larger than a
+    # broker RPC, then stream at a bandwidth below local disk — the price of
+    # moving history off the serving path (tiered storage, §2.2/§4.1).
+    cold_fetch_overhead: float = 50e-3    # object-store request round trip
+    cold_read_bandwidth: float = 80e6     # hydration stream (cross-tier)
+    cold_write_bandwidth: float = 60e6    # archival upload stream
+
     # State-store costs (RocksDB-like).
     store_memtable_get: float = 0.5e-6
     store_run_get: float = 30e-6          # one sorted-run probe (bloom miss path)
@@ -61,6 +69,8 @@ class CostModel:
             "disk_seq_read_bandwidth",
             "disk_seq_write_bandwidth",
             "network_bandwidth",
+            "cold_read_bandwidth",
+            "cold_write_bandwidth",
         ):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be > 0")
@@ -105,6 +115,16 @@ class CostModel:
         """Fixed request overhead plus per-message CPU cost."""
         return self.request_overhead + nmessages * self.cpu_per_message
 
+    # -- cold tier ------------------------------------------------------------
+
+    def cold_fetch(self, nbytes: int) -> float:
+        """One object-store round trip plus the cross-tier hydration stream."""
+        return self.cold_fetch_overhead + nbytes / self.cold_read_bandwidth
+
+    def cold_put(self, nbytes: int) -> float:
+        """One object-store round trip plus the archival upload stream."""
+        return self.cold_fetch_overhead + nbytes / self.cold_write_bandwidth
+
     # -- derivation helpers ---------------------------------------------------
 
     def scaled(self, factor: float) -> "CostModel":
@@ -129,6 +149,9 @@ class CostModel:
             mr_job_startup=self.mr_job_startup * factor,
             mr_task_startup=self.mr_task_startup * factor,
             dfs_open_overhead=self.dfs_open_overhead * factor,
+            cold_fetch_overhead=self.cold_fetch_overhead * factor,
+            cold_read_bandwidth=self.cold_read_bandwidth / factor,
+            cold_write_bandwidth=self.cold_write_bandwidth / factor,
             store_memtable_get=self.store_memtable_get * factor,
             store_run_get=self.store_run_get * factor,
             store_put=self.store_put * factor,
@@ -146,6 +169,9 @@ class CostModel:
             "request_overhead_us": self.request_overhead * 1e6,
             "mr_job_startup_s": self.mr_job_startup,
             "dfs_block_size_mb": self.dfs_block_size / (1024 * 1024),
+            "cold_fetch_overhead_ms": self.cold_fetch_overhead * 1e3,
+            "cold_read_mbps": self.cold_read_bandwidth / 1e6,
+            "cold_write_mbps": self.cold_write_bandwidth / 1e6,
         }
 
 

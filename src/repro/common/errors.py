@@ -178,6 +178,22 @@ class LineageError(FeedError):
 
 
 # ---------------------------------------------------------------------------
+# Tiered storage
+# ---------------------------------------------------------------------------
+
+class TieredStorageError(LiquidError):
+    """Base class for cold-tier (archival) storage errors."""
+
+
+class ObjectNotFoundError(TieredStorageError):
+    """The requested object key does not exist in the cold store."""
+
+
+class ObjectExistsError(TieredStorageError):
+    """Attempted to overwrite an existing (immutable) cold-store object."""
+
+
+# ---------------------------------------------------------------------------
 # Baselines
 # ---------------------------------------------------------------------------
 

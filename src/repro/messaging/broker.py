@@ -27,6 +27,7 @@ from repro.storage.compaction import CompactionConfig, LogCompactor
 from repro.storage.log import PartitionLog, ReadResult
 from repro.storage.pagecache import PageCache
 from repro.storage.retention import RetentionEnforcer
+from repro.storage.tiered import ColdTier, ObjectStore
 from repro.messaging.partition import PartitionReplica, ProduceResult
 from repro.messaging.topic import TopicConfig
 
@@ -41,10 +42,12 @@ class Broker:
         cost_model: CostModel,
         page_cache_bytes: int = 256 * 1024 * 1024,
         metrics: MetricsRegistry | None = None,
+        object_store: ObjectStore | None = None,
     ) -> None:
         self.broker_id = broker_id
         self.clock = clock
         self.cost_model = cost_model
+        self.object_store = object_store
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.page_cache = PageCache(
             clock=clock,
@@ -73,6 +76,22 @@ class Broker:
             page_cache=self.page_cache,
         )
         replica = PartitionReplica(partition, self.broker_id, log)
+        if config.tiered is not None:
+            if self.object_store is None:
+                raise ConfigError(
+                    f"topic {partition.topic!r} requests tiered storage but "
+                    f"broker {self.broker_id} has no object store"
+                )
+            # Namespace excludes the broker id: every replica of a partition
+            # archives to the same keys, so duplicate uploads dedupe.
+            replica.cold_tier = ColdTier(
+                log,
+                self.object_store,
+                namespace=f"{partition.topic}/{partition.partition}",
+                config=config.tiered,
+                metrics=self.metrics,
+                clock=self.clock,
+            )
         self._replicas[partition] = replica
         self._topic_configs[partition.topic] = config
         return replica
@@ -160,17 +179,28 @@ class Broker:
 
     def run_retention(self) -> int:
         """Enforce retention on all delete-policy replicas; returns messages
-        deleted."""
+        deleted.  Tiered replicas archive each segment before dropping it."""
         deleted = 0
+        archived = 0
         for partition, replica in self._replicas.items():
             config = self._topic_configs[partition.topic]
             if config.compacted or not config.retention.enabled:
                 continue
-            enforcer = RetentionEnforcer(config.retention, self.clock)
+            archiver = (
+                replica.cold_tier.archiver
+                if replica.cold_tier is not None
+                else None
+            )
+            enforcer = RetentionEnforcer(
+                config.retention, self.clock, archiver=archiver
+            )
             result = enforcer.enforce(replica.log)
             deleted += result.messages_deleted
+            archived += result.segments_archived
         if deleted:
             self.metrics.counter("broker.retention_deleted").increment(deleted)
+        if archived:
+            self.metrics.counter("broker.retention_archived").increment(archived)
         return deleted
 
     def run_compaction(self) -> int:
@@ -200,6 +230,9 @@ class Broker:
                 self.page_cache.forget_file(
                     self._replicas[partition].log._file_id(segment)
                 )
+            cold_tier = self._replicas[partition].cold_tier
+            if cold_tier is not None:
+                cold_tier.reader.drop_cache()
 
     def startup(self) -> None:
         """Restart after a crash; replicas come back as followers that must

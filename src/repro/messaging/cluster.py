@@ -42,6 +42,7 @@ from repro.common.records import (
 from repro.cluster.controller import ClusterController
 from repro.cluster.coordinator import Coordinator
 from repro.storage.log import LogConfig
+from repro.storage.tiered import DfsObjectStore, ObjectStore
 from repro.messaging.broker import Broker
 from repro.messaging.offset_manager import OFFSETS_TOPIC, OffsetManager
 from repro.messaging.quotas import QuotaManager
@@ -98,12 +99,17 @@ class MessagingCluster:
         replication_max_lag: int = 4,
         maintenance_interval: float = 5.0,
         metrics: MetricsRegistry | None = None,
+        object_store: ObjectStore | None = None,
     ) -> None:
         if num_brokers <= 0:
             raise ConfigError("num_brokers must be > 0")
         self.clock = clock if clock is not None else SimClock()
         self.cost_model = cost_model
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # One cold store shared by every broker (the offline tier is a
+        # separate shared system, not broker-local disk).  Created lazily on
+        # the first tiered topic when not supplied.
+        self._object_store = object_store
         self.coordinator = Coordinator(self.clock)
         self.controller = ClusterController(
             self.coordinator, allow_unclean_election=allow_unclean_election
@@ -116,6 +122,7 @@ class MessagingCluster:
                 cost_model,
                 page_cache_bytes=page_cache_bytes,
                 metrics=self.metrics,
+                object_store=self._object_store,
             )
             self._brokers[broker_id] = broker
             self.controller.register_broker(broker_id)
@@ -162,6 +169,24 @@ class MessagingCluster:
 
     # -- topic admin ------------------------------------------------------------------
 
+    @property
+    def object_store(self) -> ObjectStore:
+        """The shared cold store backing tiered topics (created on demand).
+
+        Defaults to a :class:`DfsObjectStore` over a fresh
+        :class:`~repro.baselines.dfs.SimulatedDFS` on the cluster clock —
+        the paper's batch-storage system doubling as the offline tier.
+        """
+        if self._object_store is None:
+            # Runtime import: repro.baselines imports the messaging layer.
+            from repro.baselines.dfs import SimulatedDFS
+
+            dfs = SimulatedDFS(clock=self.clock, cost_model=self.cost_model)
+            self._object_store = DfsObjectStore(dfs)
+            for broker in self._brokers.values():
+                broker.object_store = self._object_store
+        return self._object_store
+
     def create_topic(self, config: TopicConfig | str, **kwargs: Any) -> TopicConfig:
         """Create a topic from a :class:`TopicConfig` or name + kwargs."""
         if isinstance(config, str):
@@ -170,6 +195,8 @@ class MessagingCluster:
             raise ConfigError("pass either a TopicConfig or name + kwargs")
         if config.name in self._topics:
             raise TopicAlreadyExistsError(config.name)
+        if config.tiered is not None:
+            self.object_store  # materialize the cold store before hosting
         live = sorted(self.controller.live_brokers())
         if config.replication_factor > len(live):
             raise ConfigError(
@@ -401,7 +428,10 @@ class MessagingCluster:
         return self.controller.leader_for(TopicPartition(topic, partition))
 
     def beginning_offset(self, tp: TopicPartition) -> int:
-        return self._leader_replica(tp).log.log_start_offset
+        """Oldest readable offset — reaches into the cold tier when the
+        partition is tiered, so ``seek_to_beginning`` rewinds over archived
+        history (§2.2)."""
+        return self._leader_replica(tp).earliest_offset
 
     def end_offset(self, tp: TopicPartition) -> int:
         """First offset a consumer cannot yet read (the high watermark)."""
@@ -412,8 +442,11 @@ class MessagingCluster:
 
     def offset_for_timestamp(self, tp: TopicPartition, timestamp: float) -> int | None:
         """Earliest offset with record timestamp >= ``timestamp`` (§3.1
-        metadata-based access)."""
-        return self._leader_replica(tp).log.offset_for_timestamp(timestamp)
+        metadata-based access).  Spans both tiers on tiered partitions."""
+        replica = self._leader_replica(tp)
+        if replica.cold_tier is not None:
+            return replica.cold_tier.offset_for_timestamp(timestamp)
+        return replica.log.offset_for_timestamp(timestamp)
 
     def _leader_replica(self, tp: TopicPartition):
         leader_id = self.controller.leader_for(tp)

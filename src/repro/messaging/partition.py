@@ -30,6 +30,7 @@ from repro.common.errors import (
 )
 from repro.common.records import StoredMessage, TopicPartition
 from repro.storage.log import PartitionLog, ReadResult
+from repro.storage.tiered.tier import ColdTier
 
 ROLE_LEADER = "leader"
 ROLE_FOLLOWER = "follower"
@@ -58,6 +59,10 @@ class PartitionReplica:
         self.partition = partition
         self.broker_id = broker_id
         self.log = log
+        # Cold tier (tiered topics only): archive of segments retention has
+        # offloaded from the hot log; fetches below log_start fall through
+        # to it instead of erroring.
+        self.cold_tier: ColdTier | None = None
         self.role = ROLE_FOLLOWER
         self.leader_epoch = 0
         self.high_watermark = 0
@@ -209,8 +214,21 @@ class PartitionReplica:
         tail, including transaction markers.  ``isolation="read_committed"``
         additionally bounds the read by the last stable offset, hides
         aborted transactional records, and hides control markers.
+
+        On a tiered partition, an ``offset`` that retention has already
+        moved below ``log_start_offset`` is served transparently from the
+        cold tier (and stitched into the hot log when the read crosses the
+        tier boundary) — §2.2 rewindability across the retention horizon.
+        Without a cold tier the read raises
+        :class:`~repro.common.errors.OffsetOutOfRangeError` as before.
         """
-        result = self.log.read(offset, max_messages, max_bytes)
+        if (
+            self.cold_tier is not None
+            and offset < self.log.log_start_offset
+        ):
+            result = self.cold_tier.read_through(offset, max_messages, max_bytes)
+        else:
+            result = self.log.read(offset, max_messages, max_bytes)
         if not committed_only:
             return result
         bound = self.high_watermark
@@ -357,6 +375,18 @@ class PartitionReplica:
     @property
     def log_end_offset(self) -> int:
         return self.log.log_end_offset
+
+    @property
+    def earliest_offset(self) -> int:
+        """Oldest offset readable on this replica, across both tiers.
+
+        Equals ``log.log_start_offset`` for untiered partitions; with a cold
+        tier it reaches back to the oldest archived record, so
+        ``seek_to_beginning`` rewinds over the full retained history.
+        """
+        if self.cold_tier is not None:
+            return self.cold_tier.earliest_offset
+        return self.log.log_start_offset
 
     def follower_lag(self, follower_id: int) -> int:
         """Messages the follower is behind the leader."""

@@ -6,7 +6,10 @@ partitions, which are distributed on a cluster of brokers."
 
 Per-topic knobs mirror the paper's §4.1 operational controls: retention
 (time and/or size), cleanup policy (delete vs. compact), segment sizing, and
-the §4.3 durability knob ``min_insync_replicas``.
+the §4.3 durability knob ``min_insync_replicas``.  ``tiered`` switches the
+topic to archive-before-delete retention: sealed segments are offloaded to
+the cluster's cold store instead of destroyed, keeping the full history
+rewindable (§2.2) while the hot log stays bounded.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.common.errors import ConfigError
 from repro.storage.log import LogConfig
 from repro.storage.retention import RetentionConfig
+from repro.storage.tiered.config import TieredConfig
 
 #: Cleanup policies (Kafka's ``cleanup.policy``).
 CLEANUP_DELETE = "delete"
@@ -34,6 +38,7 @@ class TopicConfig:
     log: LogConfig = field(default_factory=LogConfig)
     min_insync_replicas: int = 1
     flush_timeout: float = 5.0
+    tiered: TieredConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -55,6 +60,11 @@ class TopicConfig:
             )
         if self.flush_timeout < 0:
             raise ConfigError("flush_timeout must be >= 0")
+        if self.tiered is not None and self.compacted:
+            raise ConfigError(
+                "tiered storage applies to delete-policy topics; compacted "
+                "topics retain their full keyspace in the hot tier"
+            )
 
     @property
     def compacted(self) -> bool:

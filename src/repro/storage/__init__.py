@@ -10,6 +10,15 @@ from repro.storage.retention import (
     RetentionResult,
 )
 from repro.storage.segment import LogSegment
+from repro.storage.tiered import (
+    ColdReader,
+    ColdTier,
+    DfsObjectStore,
+    InMemoryObjectStore,
+    SegmentArchiver,
+    TierManifest,
+    TieredConfig,
+)
 
 __all__ = [
     "LogSegment",
@@ -25,4 +34,11 @@ __all__ = [
     "CompactionConfig",
     "CompactionResult",
     "LogCompactor",
+    "ColdReader",
+    "ColdTier",
+    "DfsObjectStore",
+    "InMemoryObjectStore",
+    "SegmentArchiver",
+    "TierManifest",
+    "TieredConfig",
 ]

@@ -250,6 +250,30 @@ class PageCache:
         self._pages[key] = _Page(file_id, page_no, dirty=False, now=now)
         self._evict_to_capacity()
 
+    def install(self, file_id: str, start: int, nbytes: int) -> int:
+        """Insert clean resident pages with no foreground read charge.
+
+        Used by the cold tier after hydrating an archived segment: the bytes
+        were already paid for by the cold fetch, so residency is recorded
+        without charging a second (disk-priced) read.  Returns the number of
+        pages newly inserted; existing pages are left untouched.
+        """
+        if nbytes <= 0:
+            return 0
+        now = self.clock.now()
+        inserted = 0
+        for page_no in self._page_range(start, nbytes):
+            key = (file_id, page_no)
+            if key not in self._pages:
+                self._pages[key] = _Page(file_id, page_no, dirty=False, now=now)
+                inserted += 1
+        if inserted:
+            self.metrics.counter("pagecache.bytes_installed").increment(
+                inserted * self.page_size
+            )
+            self._evict_to_capacity()
+        return inserted
+
     def _prefetch(self, file_id: str, from_page: int, now: float) -> None:
         """Readahead: pull the next pages into cache in the background."""
         loaded = 0

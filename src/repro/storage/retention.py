@@ -8,15 +8,34 @@ configured as a maximum log size."
 Retention deletes whole *sealed* segments from the head (oldest end) of the
 log; the active segment is never deleted.  Deleting whole segments is what
 keeps retention O(1) per segment regardless of log size.
+
+With a :class:`~repro.storage.tiered.archiver.SegmentArchiver` attached, the
+enforcer runs in **archive-before-delete** mode: every sealed segment is
+offloaded to the cold store before it leaves the hot log, so the retention
+horizon bounds *hot* storage without destroying history — the data stays
+rewindable through the cold tier (§2.2).
+
+Empty-segment policy (explicit): a sealed segment whose records were all
+compacted away has ``last_timestamp is None`` — it holds no data, so no
+retention window can apply to it and deleting it can never lose anything.
+The time-based pass therefore treats such segments as **immediately
+expired** and the archiver skips them (there is nothing to archive).  This
+also prevents empty husks from blocking the head-of-log scan: segments are
+time-ordered, and an empty segment must not stop newer-but-expired segments
+behind it from being examined.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.common.clock import Clock
 from repro.common.errors import ConfigError
 from repro.storage.log import PartitionLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.storage.tiered.archiver import SegmentArchiver
 
 
 @dataclass(frozen=True)
@@ -39,20 +58,35 @@ class RetentionConfig:
 
 @dataclass
 class RetentionResult:
-    """What one enforcement pass removed."""
+    """What one enforcement pass removed (and, in tiered mode, offloaded)."""
 
     segments_deleted: int = 0
     bytes_deleted: int = 0
     messages_deleted: int = 0
     new_log_start_offset: int = 0
+    segments_archived: int = 0
+    bytes_archived: int = 0
+    archive_latency: float = 0.0
 
 
 class RetentionEnforcer:
-    """Applies a :class:`RetentionConfig` to a :class:`PartitionLog`."""
+    """Applies a :class:`RetentionConfig` to a :class:`PartitionLog`.
 
-    def __init__(self, config: RetentionConfig, clock: Clock) -> None:
+    ``archiver`` switches on archive-before-delete: each segment is copied
+    to the cold store (idempotently — replicas racing on the same segment
+    upload it once) before :meth:`PartitionLog.drop_segment` removes it from
+    the hot tier.
+    """
+
+    def __init__(
+        self,
+        config: RetentionConfig,
+        clock: Clock,
+        archiver: "SegmentArchiver | None" = None,
+    ) -> None:
         self.config = config
         self.clock = clock
+        self.archiver = archiver
 
     def enforce(self, log: PartitionLog) -> RetentionResult:
         """Delete expired/oversized sealed segments from the oldest end."""
@@ -61,7 +95,9 @@ class RetentionEnforcer:
             return result
         now = self.clock.now()
         # Time-based: a sealed segment expires when its newest record is
-        # older than the retention window.
+        # older than the retention window.  Empty sealed segments (fully
+        # compacted away; last_timestamp is None) are expired by policy —
+        # see the module docstring.
         if self.config.retention_seconds is not None:
             horizon = now - self.config.retention_seconds
             for segment in list(log.sealed_segments()):
@@ -81,6 +117,12 @@ class RetentionEnforcer:
         return result
 
     def _drop(self, log: PartitionLog, segment, result: RetentionResult) -> None:
+        if self.archiver is not None:
+            archived = self.archiver.archive(segment)
+            if archived.archived:
+                result.segments_archived += 1
+                result.bytes_archived += archived.size_bytes
+                result.archive_latency += archived.latency
         result.messages_deleted += segment.message_count
         result.bytes_deleted += log.drop_segment(segment)
         result.segments_deleted += 1

@@ -1,0 +1,30 @@
+"""Configuration for the tiered (hot/cold) log storage subsystem.
+
+One knob set per topic: whether sealed segments are archived to the cold
+store before retention deletes them, and how much local RAM/disk the cold
+reader may spend keeping hydrated segments around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TieredConfig:
+    """Per-topic cold-tier knobs.
+
+    ``hydration_cache_bytes`` bounds the :class:`~repro.storage.tiered.
+    coldreader.ColdReader`'s local copies of fetched cold segments (the
+    "rewind working set"); it is deliberately separate from the page-cache
+    capacity so a historical backfill cannot silently consume the broker's
+    RAM budget.
+    """
+
+    hydration_cache_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.hydration_cache_bytes <= 0:
+            raise ConfigError("hydration_cache_bytes must be > 0")

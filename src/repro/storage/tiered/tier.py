@@ -1,0 +1,156 @@
+"""The cold tier of one partition: manifest + archiver + reader, stitched.
+
+:class:`ColdTier` is what the messaging layer holds per tiered partition
+replica.  It bundles the three tiered-storage pieces around the partition's
+hot :class:`~repro.storage.log.PartitionLog` and provides the one read
+operation the broker needs: :meth:`read_through`, which serves an offset
+range that may start in the archive and continue seamlessly into the hot
+log — the §2.2 rewindability claim made real after retention has truncated
+the hot tier.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import Clock
+from repro.common.errors import OffsetOutOfRangeError
+from repro.common.metrics import MetricsRegistry
+from repro.storage.log import PartitionLog, ReadResult
+from repro.storage.tiered.archiver import SegmentArchiver
+from repro.storage.tiered.coldreader import ColdReader
+from repro.storage.tiered.config import TieredConfig
+from repro.storage.tiered.manifest import TierManifest
+from repro.storage.tiered.objectstore import ObjectStore
+
+
+class ColdTier:
+    """Cold-tier state and read path for one partition replica."""
+
+    def __init__(
+        self,
+        log: PartitionLog,
+        store: ObjectStore,
+        namespace: str,
+        config: TieredConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Clock | None = None,
+    ) -> None:
+        self.log = log
+        self.config = config if config is not None else TieredConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        clock = clock if clock is not None else log.clock
+        self.manifest = TierManifest()
+        self.archiver = SegmentArchiver(
+            store, self.manifest, namespace, clock, self.metrics
+        )
+        self.reader = ColdReader(
+            store,
+            self.manifest,
+            clock,
+            cost_model=log.cost_model,
+            page_cache=log.page_cache,
+            hydration_cache_bytes=self.config.hydration_cache_bytes,
+            metrics=self.metrics,
+        )
+
+    # -- offsets ---------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return self.manifest.is_empty
+
+    @property
+    def earliest_offset(self) -> int:
+        """Oldest readable offset across both tiers."""
+        start = self.manifest.start_offset
+        if start is None:
+            return self.log.log_start_offset
+        return min(start, self.log.log_start_offset)
+
+    def covers(self, offset: int) -> bool:
+        """True iff the archive can serve a read starting at ``offset``."""
+        start = self.manifest.start_offset
+        end = self.manifest.end_offset
+        return start is not None and start <= offset < end
+
+    # -- read path ---------------------------------------------------------------
+
+    def read_through(
+        self,
+        offset: int,
+        max_messages: int = 100,
+        max_bytes: int | None = None,
+    ) -> ReadResult:
+        """Read from the archive, continuing into the hot log if budget remains.
+
+        ``log_end_offset`` of the result is the *hot* log's end offset, so
+        callers see the same sequencing surface as a pure hot read.  Raises
+        :class:`OffsetOutOfRangeError` (with the full tiered range) when
+        ``offset`` precedes the oldest archived record.
+        """
+        if offset < self.earliest_offset:
+            raise OffsetOutOfRangeError(
+                offset, self.earliest_offset, self.log.log_end_offset
+            )
+        if not self.covers(offset):
+            return self.log.read(offset, max_messages, max_bytes)
+        cold = self.reader.read(offset, max_messages, max_bytes)
+        self.metrics.counter("tiered.cold_reads").increment()
+        self.metrics.histogram("tiered.cold_read_latency").observe(cold.latency)
+        messages = cold.messages
+        latency = cold.latency
+        next_offset = cold.next_offset
+        remaining = max_messages - len(messages)
+        byte_budget = None
+        if max_bytes is not None:
+            byte_budget = max_bytes - sum(m.size for m in messages)
+        # The archive ended at or before the hot log's start; continue the
+        # scan in the hot tier when the caller's budgets are not exhausted.
+        if (
+            remaining > 0
+            and (byte_budget is None or byte_budget > 0)
+            and next_offset >= self.log.log_start_offset
+            and next_offset < self.log.log_end_offset
+        ):
+            hot = self.log.read(
+                max(next_offset, self.log.log_start_offset),
+                remaining,
+                byte_budget,
+            )
+            messages = messages + hot.messages
+            latency += hot.latency
+            next_offset = hot.next_offset
+        return ReadResult(
+            messages, latency, self.log.log_end_offset, next_offset
+        )
+
+    def offset_for_timestamp(self, timestamp: float) -> int | None:
+        """Tier-spanning timestamp lookup: archive first, then hot log."""
+        found = self.reader.offset_for_timestamp(timestamp)
+        if found is not None:
+            return found
+        return self.log.offset_for_timestamp(timestamp)
+
+    # -- operational stats --------------------------------------------------------
+
+    def stats(self) -> dict[str, float | int | None]:
+        """Per-partition snapshot for the admin surface."""
+        return {
+            "archived_segments": self.manifest.segment_count,
+            "archived_bytes": self.manifest.total_bytes,
+            "archived_messages": self.manifest.total_messages,
+            "archived_start_offset": self.manifest.start_offset,
+            "archived_end_offset": self.manifest.end_offset,
+            "hydrated_segments": self.reader.hydrated_segments,
+            "hydrated_bytes": self.reader.hydrated_bytes,
+            "cold_hits": self.reader.hits,
+            "cold_misses": self.reader.misses,
+            "cold_hit_ratio": self.reader.hit_ratio,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ColdTier({self.archiver.namespace!r}, "
+            f"archived=[{self.manifest.start_offset}, "
+            f"{self.manifest.end_offset}), hot_start="
+            f"{self.log.log_start_offset})"
+        )

@@ -34,6 +34,9 @@ class PartitionInfo:
     log_start_offset: int
     high_watermark: int
     log_end_offset: int
+    #: Tiered-storage stats on the leader (None for untiered partitions):
+    #: archived bytes/segments, earliest archived offset, cold-hit ratio.
+    tiered: dict[str, Any] | None = None
 
     @property
     def online(self) -> bool:
@@ -42,6 +45,14 @@ class PartitionInfo:
     @property
     def under_replicated(self) -> bool:
         return len(self.isr) < len(self.replicas)
+
+    @property
+    def archived_bytes(self) -> int:
+        return self.tiered["archived_bytes"] if self.tiered else 0
+
+    @property
+    def cold_hit_ratio(self) -> float | None:
+        return self.tiered["cold_hit_ratio"] if self.tiered else None
 
 
 @dataclass
@@ -101,11 +112,14 @@ class AdminClient:
         infos = []
         for tp in self.cluster.partitions_of(topic):
             state = self.cluster.controller.partition_state(tp)
+            tiered = None
             if state.leader is not None:
                 replica = self.cluster.broker(state.leader).replica(tp)
                 log_start = replica.log.log_start_offset
                 hw = replica.high_watermark
                 leo = replica.log_end_offset
+                if replica.cold_tier is not None:
+                    tiered = replica.cold_tier.stats()
             else:
                 log_start = hw = leo = 0
             infos.append(
@@ -118,6 +132,7 @@ class AdminClient:
                     log_start_offset=log_start,
                     high_watermark=hw,
                     log_end_offset=leo,
+                    tiered=tiered,
                 )
             )
         assert config is not None
@@ -190,6 +205,16 @@ class AdminClient:
                 f"offsets=[{info.log_start_offset}..{info.high_watermark}"
                 f"/{info.log_end_offset}] {state}{flag}"
             )
+            if info.tiered is not None:
+                ratio = info.cold_hit_ratio
+                ratio_str = f"{ratio:.2f}" if ratio is not None else "n/a"
+                lines.append(
+                    f"    tiered: archived={info.tiered['archived_segments']} "
+                    f"segments/{info.archived_bytes}B "
+                    f"range=[{info.tiered['archived_start_offset']}.."
+                    f"{info.tiered['archived_end_offset']}) "
+                    f"cold_hit_ratio={ratio_str}"
+                )
         return "\n".join(lines)
 
     def format_health(self, report: HealthReport | None = None) -> str:
