@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the Liquid reproduction.
+
+Three pieces, layered:
+
+* :mod:`repro.chaos.failpoints` — named hooks threaded through the storage,
+  messaging and processing hot paths; no-ops unless armed.
+* :mod:`repro.chaos.schedule` — a seed-reproducible timeline of broker
+  crashes, leadership churn, replication stalls, transient client errors and
+  retention sweeps, applied through the ``SimClock`` and the failpoints.
+* :mod:`repro.chaos.report` — the invariants every run must uphold: no
+  acked record lost, no committed offset regression, idempotent dedup holds.
+
+See ``examples/chaos_day.py`` for the end-to-end walkthrough and
+``tests/integration/test_chaos_soak.py`` for the seeded soak.
+"""
+
+from repro.chaos.failpoints import (
+    SKIP,
+    FailpointRegistry,
+    failpoint,
+    raising,
+    registry,
+    skipping,
+)
+from repro.chaos.report import ChaosReport
+from repro.chaos.schedule import ChaosConfig, ChaosEvent, ChaosSchedule
+
+__all__ = [
+    "SKIP",
+    "ChaosConfig",
+    "ChaosEvent",
+    "ChaosReport",
+    "ChaosSchedule",
+    "FailpointRegistry",
+    "failpoint",
+    "raising",
+    "registry",
+    "skipping",
+]

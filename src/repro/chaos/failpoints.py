@@ -1,0 +1,204 @@
+"""Failpoints: named fault-injection hooks compiled out when disarmed.
+
+A *failpoint* is a named call site threaded through a hot path::
+
+    from repro.chaos.failpoints import failpoint
+
+    def produce(self, ...):
+        failpoint("broker.produce", broker=self.broker_id)
+        ...
+
+When nothing is armed — the permanent state of library code — the hook is a
+single module-global truthiness check and returns ``None``; the hot paths
+pay essentially nothing (see the fast path in :func:`failpoint`).  Tests and
+the :class:`~repro.chaos.schedule.ChaosSchedule` *arm* a failpoint with an
+action that fires at the call site: raising a transient error, telling the
+caller to skip its work (:data:`SKIP`), or recording the hit.
+
+Arming is always bounded and reversible: ``times=N`` disarms automatically
+after N fires, probability gates use an injected RNG (never the global
+``random`` state — determinism is the whole point), and
+:meth:`FailpointRegistry.scoped` restores the disarmed state on exit.  The
+``repro.tools.lint_failpoints`` checker asserts no library module arms a
+failpoint at import time.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.common.errors import ConfigError
+
+
+class _Skip:
+    """Sentinel telling the call site to skip the guarded work."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<chaos.SKIP>"
+
+
+#: Returned by an armed action (via :func:`skipping`) to make the caller
+#: skip the guarded operation — e.g. a replication pass that stalls.
+SKIP = _Skip()
+
+
+def raising(exc_factory: Callable[[], BaseException]) -> Callable[..., Any]:
+    """Action that raises a fresh exception on every fire."""
+
+    def action(**ctx: Any) -> Any:
+        raise exc_factory()
+
+    return action
+
+
+def skipping(**_ctx: Any) -> Any:
+    """Action that returns :data:`SKIP`, telling the caller to do nothing."""
+    return SKIP
+
+
+class _Armed:
+    """One armed failpoint: action + firing budget + probability gate."""
+
+    __slots__ = ("name", "action", "remaining", "probability", "rng")
+
+    def __init__(
+        self,
+        name: str,
+        action: Callable[..., Any] | None,
+        remaining: int | None,
+        probability: float,
+        rng: random.Random | None,
+    ) -> None:
+        self.name = name
+        self.action = action
+        self.remaining = remaining
+        self.probability = probability
+        self.rng = rng
+
+
+class FailpointRegistry:
+    """Holds armed failpoints and dispatches hits from call sites.
+
+    The registry itself is cheap to consult — :func:`failpoint` only calls
+    :meth:`hit` when at least one failpoint is armed anywhere.
+    """
+
+    def __init__(self) -> None:
+        self._armed: dict[str, _Armed] = {}
+        self._fires: dict[str, int] = {}
+
+    # -- arming ----------------------------------------------------------------
+
+    def arm(
+        self,
+        name: str,
+        action: Callable[..., Any] | None = None,
+        *,
+        times: int | None = None,
+        probability: float = 1.0,
+        rng: random.Random | None = None,
+    ) -> None:
+        """Arm ``name``.  ``action(**ctx)`` runs on each fire (may raise).
+
+        ``times`` bounds the number of fires (auto-disarm after); it must be
+        given as a positive count.  ``probability`` < 1 requires an explicit
+        ``rng`` so injection stays seed-deterministic.
+        """
+        if times is not None and times <= 0:
+            raise ConfigError(f"times must be > 0, got {times}")
+        if not 0.0 < probability <= 1.0:
+            raise ConfigError(f"probability must be in (0, 1], got {probability}")
+        if probability < 1.0 and rng is None:
+            raise ConfigError(
+                "probabilistic failpoints require an explicit rng "
+                "(global random state would break replayability)"
+            )
+        self._armed[name] = _Armed(name, action, times, probability, rng)
+
+    def disarm(self, name: str) -> bool:
+        """Disarm ``name``; returns whether it was armed.  Idempotent."""
+        return self._armed.pop(name, None) is not None
+
+    def disarm_all(self) -> None:
+        self._armed.clear()
+
+    @contextmanager
+    def scoped(
+        self,
+        name: str,
+        action: Callable[..., Any] | None = None,
+        *,
+        times: int | None = None,
+        probability: float = 1.0,
+        rng: random.Random | None = None,
+    ) -> Iterator[None]:
+        """Arm ``name`` for the duration of a ``with`` block."""
+        self.arm(name, action, times=times, probability=probability, rng=rng)
+        try:
+            yield
+        finally:
+            self.disarm(name)
+
+    # -- dispatch --------------------------------------------------------------
+
+    def hit(self, name: str, ctx: dict[str, Any]) -> Any:
+        """Evaluate a call-site hit; returns the action's result (or None)."""
+        armed = self._armed.get(name)
+        if armed is None:
+            return None
+        if armed.probability < 1.0:
+            assert armed.rng is not None  # enforced by arm()
+            if armed.rng.random() >= armed.probability:
+                return None
+        if armed.remaining is not None:
+            armed.remaining -= 1
+            if armed.remaining == 0:
+                del self._armed[name]
+        self._fires[name] = self._fires.get(name, 0) + 1
+        if armed.action is None:
+            return None
+        return armed.action(name=name, **ctx)
+
+    # -- introspection ---------------------------------------------------------
+
+    def is_armed(self, name: str) -> bool:
+        return name in self._armed
+
+    def armed_names(self) -> set[str]:
+        return set(self._armed)
+
+    def fires(self, name: str) -> int:
+        """How many times ``name`` actually fired (passed its gates)."""
+        return self._fires.get(name, 0)
+
+    def reset_counters(self) -> None:
+        self._fires.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FailpointRegistry(armed={sorted(self._armed)})"
+
+
+#: Process-wide registry consulted by every :func:`failpoint` call site.
+_REGISTRY = FailpointRegistry()
+
+
+def registry() -> FailpointRegistry:
+    """The process-wide failpoint registry."""
+    return _REGISTRY
+
+
+def failpoint(name: str, **ctx: Any) -> Any:
+    """Fault-injection hook for hot paths.
+
+    Disarmed (the default, and the permanent state in production code) this
+    is one dict-truthiness check.  Armed, it dispatches to the registry: the
+    armed action may raise into the caller, return :data:`SKIP`, or just
+    count the hit.
+    """
+    if not _REGISTRY._armed:
+        return None
+    return _REGISTRY.hit(name, ctx)

@@ -1,0 +1,161 @@
+"""Chaos-run invariants: what must hold no matter what the schedule did.
+
+A :class:`ChaosReport` observes a client workload (acks, commits, errors)
+while a :class:`~repro.chaos.schedule.ChaosSchedule` runs, then audits the
+healed cluster:
+
+* **No acked record lost** — every record the producer was acknowledged for
+  is still readable at its acked offset with its acked value (offsets that
+  retention legitimately reclaimed are exempt: deletion by policy is not
+  data loss).
+* **No committed offset regression** — per (group, partition), offsets
+  committed to the offset manager never move backwards.
+* **Idempotent dedup holds** — no two distinct (non-duplicate) acks cover
+  the same offset, and no acked value appears at two different offsets.
+
+Violations are collected as strings so a soak failure names every broken
+invariant at once instead of stopping at the first.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.records import TopicPartition
+
+
+class ChaosReport:
+    """Collects workload observations and audits invariants after a run."""
+
+    def __init__(self) -> None:
+        #: (tp, offset) -> acked value, for every non-duplicate acked record.
+        self._acked: dict[tuple[TopicPartition, int], Any] = {}
+        self._committed: dict[tuple[str, TopicPartition], int] = {}
+        self.acked_batches = 0
+        self.duplicate_acks = 0
+        self.client_errors: dict[str, int] = {}
+        self.violations: list[str] = []
+
+    # -- observation hooks (call during the run) --------------------------------
+
+    def note_ack(self, tp: TopicPartition, ack: Any, values: list[Any]) -> None:
+        """Record an acknowledged batch: ``values`` sent, ``ack`` returned."""
+        self.acked_batches += 1
+        if getattr(ack, "duplicate", False):
+            # A dedup hit re-acks offsets recorded by the original append.
+            self.duplicate_acks += 1
+            return
+        offsets = range(ack.base_offset, ack.last_offset + 1)
+        if len(offsets) != len(values):
+            self.violations.append(
+                f"ack shape mismatch on {tp}: {len(values)} values acked as "
+                f"offsets [{ack.base_offset}, {ack.last_offset}]"
+            )
+        for offset, value in zip(offsets, values):
+            previous = self._acked.get((tp, offset))
+            if previous is not None and previous != value:
+                self.violations.append(
+                    f"idempotent dedup violated: {tp}@{offset} acked twice "
+                    f"with different values ({previous!r} then {value!r})"
+                )
+            self._acked[(tp, offset)] = value
+
+    def note_commit(self, group: str, tp: TopicPartition, offset: int) -> None:
+        """Record an offset commit; regressions are flagged immediately."""
+        last = self._committed.get((group, tp))
+        if last is not None and offset < last:
+            self.violations.append(
+                f"committed offset regression for {group} on {tp}: "
+                f"{last} -> {offset}"
+            )
+        self._committed[(group, tp)] = offset
+
+    def note_error(self, context: str, exc: BaseException) -> None:
+        """Count a tolerated client error (retried/re-buffered, not lost)."""
+        key = f"{context}:{type(exc).__name__}"
+        self.client_errors[key] = self.client_errors.get(key, 0) + 1
+
+    # -- audit (call after healing the cluster) ---------------------------------
+
+    def verify(self, cluster: Any) -> list[str]:
+        """Audit the cluster against everything acked/committed; returns all
+        violations (already-noted ones included)."""
+        violations = list(self.violations)
+        by_tp: dict[TopicPartition, list[tuple[int, Any]]] = {}
+        for (tp, offset), value in self._acked.items():
+            by_tp.setdefault(tp, []).append((offset, value))
+        for tp, acked in sorted(by_tp.items(), key=lambda kv: str(kv[0])):
+            start = cluster.beginning_offset(tp)
+            end = cluster.end_offset(tp)
+            stored: dict[int, Any] = {}
+            offset = start
+            while offset < end:
+                result = cluster.fetch(tp.topic, tp.partition, offset, 1000)
+                for record in result.records:
+                    stored[record.offset] = record.value
+                if result.next_offset <= offset:
+                    break
+                offset = result.next_offset
+            acked_values: dict[Any, int] = {}
+            for offset, value in sorted(acked):
+                if offset < start:
+                    continue  # reclaimed by retention, by policy
+                if offset >= end:
+                    violations.append(
+                        f"acked record lost: {tp}@{offset} ({value!r}) is "
+                        f"beyond the high watermark {end}"
+                    )
+                    continue
+                if offset not in stored:
+                    violations.append(
+                        f"acked record lost: {tp}@{offset} ({value!r}) not "
+                        f"readable in [{start}, {end})"
+                    )
+                elif stored[offset] != value:
+                    violations.append(
+                        f"acked record corrupted: {tp}@{offset} holds "
+                        f"{stored[offset]!r}, acked {value!r}"
+                    )
+                try:
+                    acked_values[value] = acked_values.get(value, 0) + 1
+                except TypeError:
+                    continue  # unhashable payloads skip the dedup scan
+            occurrences: dict[Any, int] = {}
+            for value in stored.values():
+                try:
+                    occurrences[value] = occurrences.get(value, 0) + 1
+                except TypeError:
+                    continue
+            for value, acked_count in acked_values.items():
+                if acked_count == 1 and occurrences.get(value, 0) > 1:
+                    violations.append(
+                        f"idempotent dedup violated: value {value!r} acked "
+                        f"once but stored {occurrences[value]} times on {tp}"
+                    )
+        return violations
+
+    def assert_invariants(self, cluster: Any) -> None:
+        """Raise ``AssertionError`` naming every violated invariant."""
+        violations = self.verify(cluster)
+        if violations:
+            raise AssertionError(
+                f"{len(violations)} chaos invariant violation(s):\n"
+                + "\n".join(f"  - {v}" for v in violations)
+            )
+
+    def summary(self) -> dict[str, Any]:
+        """Run statistics for logging/EXPERIMENTS entries."""
+        return {
+            "acked_batches": self.acked_batches,
+            "acked_records": len(self._acked),
+            "duplicate_acks": self.duplicate_acks,
+            "commits": len(self._committed),
+            "tolerated_errors": dict(sorted(self.client_errors.items())),
+            "violations": len(self.violations),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ChaosReport(acked={len(self._acked)}, "
+            f"violations={len(self.violations)})"
+        )

@@ -73,6 +73,25 @@ class NotEnoughReplicasError(MessagingError):
     """acks=all produce rejected: in-sync replica set below ``min.insync``."""
 
 
+class ProducerFlushError(MessagingError):
+    """``Producer.flush()`` could not deliver every buffered batch.
+
+    Carries the partial result: ``acks`` for the batches that made it, and
+    ``failures`` as ``(partition, error)`` pairs for those that did not.
+    Failed batches stay buffered inside the producer (in order), so a later
+    ``flush()`` retries them — nothing is silently dropped.
+    """
+
+    def __init__(self, acks: list, failures: list) -> None:
+        partitions = ", ".join(str(tp) for tp, _exc in failures)
+        super().__init__(
+            f"flush failed for {len(failures)} partition(s) [{partitions}]; "
+            f"{len(acks)} batch(es) acked; failed batches remain buffered"
+        )
+        self.acks = acks
+        self.failures = failures
+
+
 class MessageTooLargeError(MessagingError):
     """A produced message exceeds the broker's maximum message size."""
 

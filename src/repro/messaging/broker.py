@@ -23,6 +23,7 @@ from repro.common.errors import (
 )
 from repro.common.metrics import MetricsRegistry
 from repro.common.records import StoredMessage, TopicPartition
+from repro.chaos.failpoints import failpoint
 from repro.storage.compaction import CompactionConfig, LogCompactor
 from repro.storage.log import PartitionLog, ReadResult
 from repro.storage.pagecache import PageCache
@@ -128,6 +129,7 @@ class Broker:
         producer_seq: int | None = None,
     ) -> tuple[ProduceResult, float]:
         """Append a batch on the leader replica; returns (result, latency)."""
+        failpoint("broker.produce", broker=self.broker_id, partition=partition)
         self._check_online()
         replica = self.replica(partition)
         result = replica.append_batch(entries, epoch, producer_id, producer_seq)
@@ -145,6 +147,7 @@ class Broker:
         isolation: str = "read_uncommitted",
     ) -> tuple[ReadResult, float]:
         """Consumer fetch (committed data only); returns (result, latency)."""
+        failpoint("broker.fetch", broker=self.broker_id, partition=partition)
         self._check_online()
         replica = self.replica(partition)
         result = replica.fetch(

@@ -39,6 +39,7 @@ from repro.common.records import (
     TopicPartition,
     estimate_size,
 )
+from repro.chaos.failpoints import failpoint
 from repro.cluster.controller import ClusterController
 from repro.cluster.coordinator import Coordinator
 from repro.storage.log import LogConfig
@@ -273,6 +274,9 @@ class MessagingCluster:
         """
         tp = TopicPartition(topic, partition)
         self.topic_config(topic)
+        # Armed by chaos schedules to drop the request before it reaches the
+        # leader — the client sees a transient error, nothing is appended.
+        failpoint("cluster.produce", partition=tp, acks=acks)
         stamped = [
             (k, v, ts if ts is not None else self.clock.now(), h or {})
             for (k, v, ts, h) in entries
@@ -336,14 +340,26 @@ class MessagingCluster:
         Followers replicate in parallel, so the added latency is the slowest
         follower's (network + append), matching the paper's observation that
         maximum durability waits for all acknowledgments.
+
+        An ISR member that is unreachable (crashed but its session has not
+        expired yet) cannot simply be skipped: acks=all promises every
+        in-sync replica has the batch, and a failover onto the skipped
+        follower would lose acknowledged data.  Instead the leader shrinks
+        it out of the ISR on the spot; if that leaves the ISR below
+        ``min_insync_replicas`` the produce fails with
+        :class:`NotEnoughReplicasError` (the leader append stands — the
+        producer retries and the idempotent path dedupes).
         """
         leader_replica = self._brokers[state.leader].replica(tp)
         slowest = 0.0
-        for follower_id in state.isr:
+        for follower_id in list(state.isr):
             if follower_id == state.leader:
                 continue
             follower_broker = self._brokers.get(follower_id)
             if follower_broker is None or not follower_broker.online:
+                # shrink_isr notifies the leader replica via _apply_isr, so
+                # the high watermark now only waits on reachable members.
+                self.controller.shrink_isr(tp, follower_id)
                 continue
             follower_replica = follower_broker.replica(tp)
             fetch_from = follower_replica.log_end_offset
@@ -372,6 +388,12 @@ class MessagingCluster:
                 follower_broker.replica(tp).update_high_watermark(
                     leader_replica.high_watermark
                 )
+        config = self.topic_config(tp.topic)
+        if len(state.isr) < config.min_insync_replicas:
+            raise NotEnoughReplicasError(
+                f"{tp}: ISR shrank to {state.isr} during acks=all produce, "
+                f"below min_insync_replicas={config.min_insync_replicas}"
+            )
         return slowest
 
     def fetch(
@@ -391,6 +413,7 @@ class MessagingCluster:
         per-application fetch quotas (§4.5).
         """
         tp = TopicPartition(topic, partition)
+        failpoint("cluster.fetch", partition=tp, offset=offset)
         leader_id = self.controller.leader_for(tp)
         if leader_id is None:
             raise BrokerUnavailableError(f"{tp} is offline (no leader)")

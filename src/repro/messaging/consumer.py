@@ -190,6 +190,10 @@ class Consumer:
             value=value,
             timestamp=record.timestamp,
             headers=record.headers,
+            # Keep the stored wire size: recomputing from the deserialized
+            # objects would skew quota/WAN accounting away from the bytes
+            # actually transferred.
+            size=record.size,
         )
 
     def _maybe_rejoin(self) -> None:

@@ -14,6 +14,7 @@ idempotent mode that upgrades retries to exactly-once per partition.
 from __future__ import annotations
 
 import itertools
+import random
 import zlib
 from typing import Any, Callable
 
@@ -21,11 +22,23 @@ from repro.common.errors import (
     BrokerUnavailableError,
     ConfigError,
     MessagingError,
+    NotEnoughReplicasError,
     NotLeaderForPartitionError,
+    ProducerFlushError,
     StaleEpochError,
 )
 from repro.common.records import ProducerRecord, TopicPartition
 from repro.messaging.cluster import ACKS_LEADER, MessagingCluster, ProduceAck
+
+#: Transient produce failures the retry loop absorbs.  NotEnoughReplicas is
+#: retriable because the ISR usually recovers (follower catch-up re-expands
+#: it) and the idempotent path dedupes any leader append that stood.
+_RETRIABLE = (
+    NotLeaderForPartitionError,
+    BrokerUnavailableError,
+    StaleEpochError,
+    NotEnoughReplicasError,
+)
 
 #: Partitioner strategies.
 PARTITIONER_HASH = "hash"
@@ -53,11 +66,18 @@ class Producer:
         client_id: str | None = None,
         key_serde: Any = None,
         value_serde: Any = None,
+        retry_backoff: float = 0.05,
+        retry_backoff_max: float = 2.0,
+        retry_jitter_seed: int | None = None,
     ) -> None:
         if linger_messages < 1:
             raise ConfigError("linger_messages must be >= 1")
         if max_retries < 0:
             raise ConfigError("max_retries must be >= 0")
+        if retry_backoff < 0 or retry_backoff_max < retry_backoff:
+            raise ConfigError(
+                "need 0 <= retry_backoff <= retry_backoff_max"
+            )
         if isinstance(partitioner, str) and partitioner not in (
             PARTITIONER_HASH,
             PARTITIONER_ROUND_ROBIN,
@@ -76,9 +96,24 @@ class Producer:
         self.key_serde = key_serde
         self.value_serde = value_serde
         self.producer_id = next(_producer_ids)
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
+        # Deterministic jitter: seeded from the producer id unless the caller
+        # pins a seed (chaos soaks do, for byte-identical replays).
+        self._retry_rng = random.Random(
+            self.producer_id if retry_jitter_seed is None else retry_jitter_seed
+        )
         self._round_robin: dict[str, itertools.count] = {}
         self._sequences: dict[TopicPartition, int] = {}
         self._buffers: dict[TopicPartition, list[tuple[Any, Any, float | None, dict[str, Any]]]] = {}
+        # Batches that exhausted their retries, parked with the idempotent
+        # sequence they were (and will again be) sent under.  flush() drains
+        # these before the live buffer of the same partition so per-partition
+        # order — and broker-side dedup — survive the failure.
+        self._failed_batches: dict[
+            TopicPartition,
+            list[tuple[int | None, list[tuple[Any, Any, float | None, dict[str, Any]]]]],
+        ] = {}
         self.acks_received = 0
         self.retries = 0
 
@@ -117,6 +152,12 @@ class Producer:
         ack returned.  With batching enabled the record is buffered and
         ``None`` returned; the batch is sent when it reaches
         ``linger_messages`` records (or on :meth:`flush`).
+
+        A batch that exhausts its retries is *not* dropped: it is re-buffered
+        (with its idempotent sequence, if any) and the error re-raised, so a
+        later :meth:`flush` retries it.  While a partition has a re-buffered
+        batch parked, newly buffered records for it are held back — sending
+        them first would reorder the partition and break broker-side dedup.
         """
         if self.value_serde is not None:
             value = self.value_serde.serialize(value)
@@ -132,32 +173,71 @@ class Producer:
         )
         tp = TopicPartition(topic, self._choose_partition(record))
         entry = (record.key, record.value, record.timestamp, record.headers)
-        if self.linger_messages == 1:
+        if self.linger_messages == 1 and tp not in self._failed_batches:
             return self._send_batch(tp, [entry])
         buffer = self._buffers.setdefault(tp, [])
         buffer.append(entry)
-        if len(buffer) >= self.linger_messages:
+        if (
+            len(buffer) >= self.linger_messages
+            and tp not in self._failed_batches
+        ):
             del self._buffers[tp]
             return self._send_batch(tp, buffer)
         return None
 
     def flush(self) -> list[ProduceAck]:
-        """Send all buffered batches; returns their acks."""
-        acks = []
-        buffers, self._buffers = self._buffers, {}
-        for tp, entries in buffers.items():
-            acks.append(self._send_batch(tp, entries))
+        """Send every parked and buffered batch; returns their acks.
+
+        Parked (previously failed) batches go first — they predate anything
+        in the live buffer of the same partition.  Partitions fail
+        independently: one dead partition does not block the rest.  If any
+        batch still cannot be delivered it stays buffered and
+        :class:`~repro.common.errors.ProducerFlushError` is raised carrying
+        the partial acks and the per-partition errors.
+        """
+        acks: list[ProduceAck] = []
+        failures: list[tuple[TopicPartition, MessagingError]] = []
+        for tp in list(self._failed_batches):
+            parked = self._failed_batches.pop(tp)
+            for i, (seq, entries) in enumerate(parked):
+                try:
+                    acks.append(self._send_batch(tp, entries, seq=seq))
+                except MessagingError as exc:
+                    # _send_batch re-parked the failed batch; keep the rest
+                    # queued behind it, in order, and move on.
+                    self._failed_batches[tp].extend(parked[i + 1:])
+                    failures.append((tp, exc))
+                    break
+        for tp in list(self._buffers):
+            if tp in self._failed_batches:
+                continue  # blocked behind a parked batch; order first
+            entries = self._buffers.pop(tp)
+            try:
+                acks.append(self._send_batch(tp, entries))
+            except MessagingError as exc:
+                failures.append((tp, exc))
+        if failures:
+            raise ProducerFlushError(acks, failures)
         return acks
 
     def _send_batch(
         self,
         tp: TopicPartition,
         entries: list[tuple[Any, Any, float | None, dict[str, Any]]],
+        seq: int | None = None,
     ) -> ProduceAck:
         producer_id = self.producer_id if self.idempotent else None
         producer_seq: int | None = None
         if self.idempotent:
-            producer_seq = self._sequences.get(tp, -1) + 1
+            if seq is not None:
+                producer_seq = seq  # retry of a parked batch: original seq
+            else:
+                # Sequences advance at allocation, not on success: a batch
+                # that fails keeps its number parked with it, so its retry
+                # dedupes against any leader append that stood, and newer
+                # batches can never collide with it.
+                producer_seq = self._sequences.get(tp, -1) + 1
+                self._sequences[tp] = producer_seq
         attempts = 0
         while True:
             try:
@@ -170,25 +250,37 @@ class Producer:
                     producer_seq=producer_seq,
                     client_id=self.client_id,
                 )
-                if self.idempotent:
-                    self._sequences[tp] = producer_seq  # type: ignore[assignment]
                 self.acks_received += 1
                 return ack
-            except (
-                NotLeaderForPartitionError,
-                BrokerUnavailableError,
-                StaleEpochError,
-            ) as exc:
+            except _RETRIABLE as exc:
                 attempts += 1
                 self.retries += 1
                 if attempts > self.max_retries:
+                    self._failed_batches.setdefault(tp, []).append(
+                        (producer_seq, list(entries))
+                    )
                     raise MessagingError(
-                        f"produce to {tp} failed after {attempts} attempts"
+                        f"produce to {tp} failed after {attempts} attempts; "
+                        f"{len(entries)} record(s) re-buffered for retry"
                     ) from exc
                 # Metadata refresh is implicit: the controller is the
                 # authoritative source consulted on the next attempt.
-                self.cluster.tick(0.0)
+                # Capped-exponential backoff with deterministic jitter gives
+                # failovers and ISR recovery simulated time to complete.
+                self.cluster.tick(self._backoff(attempts))
+
+    def _backoff(self, attempts: int) -> float:
+        delay = min(
+            self.retry_backoff_max, self.retry_backoff * (2 ** (attempts - 1))
+        )
+        return delay * (0.5 + 0.5 * self._retry_rng.random())
 
     def pending(self) -> int:
-        """Records buffered but not yet sent."""
-        return sum(len(b) for b in self._buffers.values())
+        """Records buffered or parked after a failure, not yet acked."""
+        buffered = sum(len(b) for b in self._buffers.values())
+        parked = sum(
+            len(entries)
+            for batches in self._failed_batches.values()
+            for _seq, entries in batches
+        )
+        return buffered + parked

@@ -23,6 +23,7 @@ from repro.common.errors import (
     OffsetOutOfRangeError,
 )
 from repro.common.records import TopicPartition
+from repro.chaos.failpoints import SKIP, failpoint
 
 
 @dataclass
@@ -88,6 +89,10 @@ class ReplicationManager:
         follower_id: int,
         stats: ReplicationStats,
     ) -> None:
+        # Armed with `skipping`, this stalls the follower: no fetch, no ISR
+        # maintenance — the lag just accumulates until the stall is lifted.
+        if failpoint("replication.sync", partition=partition, follower=follower_id) is SKIP:
+            return
         controller = self.cluster.controller
         leader_broker = self.cluster.broker(leader_id)
         follower_broker = self.cluster.broker(follower_id)

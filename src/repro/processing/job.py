@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.chaos.failpoints import SKIP, failpoint
 from repro.common.clock import SimClock
 from repro.common.errors import JobConfigError, TaskFailedError
 from repro.common.records import ConsumerRecord, TopicPartition
@@ -225,6 +226,10 @@ class JobRunner:
         """
         if not self.running:
             raise JobConfigError(f"job {self.config.name!r} is not running")
+        # Armed with `skipping`, the whole pass is lost — a stalled container
+        # whose backlog simply grows (the paper's slow-job decoupling).
+        if failpoint("job.poll", job=self.config.name) is SKIP:
+            return PollResult()
         self.cluster.tick(0.0)
         result = PollResult()
         for instance in self._tasks:

@@ -23,6 +23,7 @@ from repro.common.clock import Clock, SimClock
 from repro.common.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.common.errors import ConfigError, OffsetOutOfRangeError
 from repro.common.records import StoredMessage
+from repro.chaos.failpoints import failpoint
 from repro.storage.index import SparseOffsetIndex
 from repro.storage.pagecache import PageCache
 from repro.storage.segment import LogSegment
@@ -188,6 +189,7 @@ class PartitionLog:
         latency — but charges the page cache once per segment run and updates
         the index in bulk, so the wall-clock cost amortizes over the batch.
         """
+        failpoint("log.append", log=self.name, count=len(entries))
         now = self.clock.now()
         messages: list[StoredMessage] = []
         error: ConfigError | None = None
@@ -230,6 +232,7 @@ class PartitionLog:
         allowed).  Records before an out-of-order one are appended before
         :class:`ConfigError` is raised, matching the per-record loop.
         """
+        failpoint("log.append", log=self.name, count=len(messages))
         now = self.clock.now()
         valid = len(messages)
         error: ConfigError | None = None
@@ -361,6 +364,7 @@ class PartitionLog:
         ``[log_start_offset, log_end_offset]``; reading exactly at the end
         offset returns an empty batch (a poll with no new data).
         """
+        failpoint("log.read", log=self.name, offset=offset)
         if offset < self._log_start_offset or offset > self._next_offset:
             raise OffsetOutOfRangeError(
                 offset, self._log_start_offset, self._next_offset

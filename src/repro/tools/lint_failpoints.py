@@ -1,0 +1,82 @@
+"""Lint: no failpoint may be left permanently armed in library code.
+
+Two checks, run by CI after the test suite:
+
+1. **Static** — no module under ``src/repro`` outside ``repro/chaos``
+   calls ``.arm(`` / ``.scoped(`` on a failpoint registry.  Arming belongs
+   to tests, examples and chaos schedules; library code only *declares*
+   failpoints via ``failpoint(name)`` hooks.
+2. **Dynamic** — importing every ``repro`` module leaves the process-wide
+   registry empty: no import-time side effect arms anything.
+
+Exit status 0 when clean; 1 with a report of offenders otherwise.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import re
+import sys
+from pathlib import Path
+
+#: Call patterns that arm a failpoint.  The word-boundary on ``arm``/
+#: ``scoped`` keeps e.g. ``swarm(`` or ``disarm(`` from matching.
+_ARM_CALL = re.compile(r"\.\s*(?:arm|scoped)\s*\(")
+
+#: Library paths allowed to reference arming: the chaos package itself
+#: (schedules arm failpoints by design) and this linter.
+_ALLOWED = ("repro/chaos/", "repro/tools/lint_failpoints.py")
+
+
+def find_static_offenders(src_root: Path) -> list[str]:
+    """Lines in library code that arm a failpoint; empty when clean."""
+    offenders: list[str] = []
+    for path in sorted(src_root.rglob("*.py")):
+        relative = path.relative_to(src_root).as_posix()
+        if any(relative.startswith(prefix) for prefix in _ALLOWED):
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            stripped = line.split("#", 1)[0]
+            if _ARM_CALL.search(stripped):
+                offenders.append(f"{relative}:{lineno}: {line.strip()}")
+    return offenders
+
+
+def find_import_time_armed() -> set[str]:
+    """Failpoints armed after importing every ``repro`` module."""
+    import repro
+    from repro.chaos.failpoints import registry
+
+    for module in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        importlib.import_module(module.name)
+    return registry().armed_names()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if args:
+        src_root = Path(args[0])
+    else:
+        src_root = Path(__file__).resolve().parents[2]
+    offenders = find_static_offenders(src_root)
+    armed = find_import_time_armed()
+    if offenders:
+        print("failpoint lint: library code arms failpoints:")
+        for offender in offenders:
+            print(f"  {offender}")
+    if armed:
+        print(
+            "failpoint lint: armed after importing every repro module: "
+            f"{sorted(armed)}"
+        )
+    if offenders or armed:
+        return 1
+    print("failpoint lint: OK (no armed failpoints in library code)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

@@ -50,11 +50,13 @@ def run_schedule(schedule):
                 payload = counter
                 counter += 1
                 try:
-                    producer.send("t", payload, key=f"k{payload % 3}")
+                    ack = producer.send("t", payload, key=f"k{payload % 3}")
                 except (MessagingError, NotEnoughReplicasError,
                         BrokerUnavailableError):
-                    continue  # not acked: no guarantee claimed
-                acked.append(payload)
+                    continue  # re-buffered, not acked: no guarantee yet
+                if ack is not None:
+                    acked.append(payload)
+                # ack is None: held back behind a re-buffered batch.
         elif action == "kill":
             live = cluster.controller.live_brokers()
             if len(live) > 1 and arg in live:
@@ -69,6 +71,23 @@ def run_schedule(schedule):
         if broker_id not in cluster.controller.live_brokers():
             cluster.restart_broker(broker_id)
     cluster.run_until_replicated()
+    # Failed sends were re-buffered, not dropped: after full recovery a
+    # flush MUST deliver them, and their acks then claim the durability
+    # guarantee like any other.
+    if producer.pending():
+        pending = [
+            value
+            for batches in producer._failed_batches.values()
+            for _seq, entries in batches
+            for (_k, value, _ts, _h) in entries
+        ] + [
+            value
+            for buffer in producer._buffers.values()
+            for (_k, value, _ts, _h) in buffer
+        ]
+        producer.flush()
+        acked.extend(pending)
+        cluster.run_until_replicated()
     return cluster, acked
 
 

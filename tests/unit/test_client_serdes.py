@@ -67,6 +67,25 @@ class TestSerdeRoundtrip:
         consumer.assign([TopicPartition("t", 0)])
         assert consumer.poll(10)[0].value == {"plain": True}
 
+    def test_deserialized_records_keep_wire_size(self):
+        """Regression: ``Consumer._deserialize`` dropped ``size``, letting
+        ``ConsumerRecord.__post_init__`` recompute it from the deserialized
+        Python objects — skewing byte accounting away from what was actually
+        stored and transferred."""
+        cluster = make_cluster()
+        producer = Producer(
+            cluster, key_serde=StringSerde(), value_serde=JsonSerde()
+        )
+        producer.send("t", {"payload": "x" * 64, "n": [1, 2, 3]}, key="k1")
+        raw = cluster.fetch("t", 0, 0).records[0]
+        consumer = Consumer(
+            cluster, key_serde=StringSerde(), value_serde=JsonSerde()
+        )
+        consumer.assign([TopicPartition("t", 0)])
+        typed = consumer.poll(10)[0]
+        assert typed.size == raw.size
+        assert typed.size > 0
+
     def test_partitioning_consistent_for_serialized_keys(self):
         cluster = MessagingCluster(num_brokers=1, clock=SimClock())
         cluster.create_topic("multi", num_partitions=4, replication_factor=1)

@@ -135,6 +135,58 @@ class TestProduceFetch:
             cluster.produce("t", 0, entries(1))
 
 
+class TestAcksAllOfflineIsr:
+    """Regression: acks=all must not silently skip crashed ISR members.
+
+    An unclean crash (broker dead, session not yet expired) leaves the
+    broker in the ISR.  Pre-fix, ``_replicate_synchronously`` skipped it and
+    acked anyway — a failover onto that follower then lost acked data.
+    """
+
+    def make_partition(self, min_insync=2):
+        cluster = make_cluster(brokers=3)
+        cluster.create_topic(
+            "t", replication_factor=3, min_insync_replicas=min_insync
+        )
+        leader = cluster.leader_of("t", 0)
+        followers = [b for b in range(3) if b != leader]
+        return cluster, leader, followers
+
+    def test_offline_isr_member_is_shrunk_not_skipped(self):
+        cluster, leader, followers = self.make_partition()
+        # Unclean crash: session stays alive, follower stays in the ISR.
+        cluster.broker(followers[0]).shutdown()
+        tp = TopicPartition("t", 0)
+        assert followers[0] in cluster.controller.partition_state(tp).isr
+        ack = cluster.produce("t", 0, entries(2), acks=ACKS_ALL)
+        isr = cluster.controller.partition_state(tp).isr
+        assert followers[0] not in isr
+        # Every remaining ISR member really has the acked records.
+        for broker_id in isr:
+            replica = cluster.broker(broker_id).replica(tp)
+            assert replica.log_end_offset > ack.last_offset
+
+    def test_shrink_below_min_insync_raises(self):
+        cluster, leader, followers = self.make_partition(min_insync=2)
+        for follower in followers:
+            cluster.broker(follower).shutdown()
+        with pytest.raises(NotEnoughReplicasError):
+            cluster.produce("t", 0, entries(1), acks=ACKS_ALL)
+
+    def test_recovered_follower_catches_up_after_shrink(self):
+        cluster, leader, followers = self.make_partition()
+        cluster.broker(followers[0]).shutdown()
+        cluster.produce("t", 0, entries(3), acks=ACKS_ALL)
+        # Session finally expires, machine comes back, replication resumes.
+        cluster.controller.broker_failed(followers[0])
+        cluster.restart_broker(followers[0])
+        cluster.run_until_replicated()
+        tp = TopicPartition("t", 0)
+        replica = cluster.broker(followers[0]).replica(tp)
+        assert replica.log_end_offset == 3
+        assert followers[0] in cluster.controller.partition_state(tp).isr
+
+
 class TestOffsets:
     def test_beginning_and_end(self):
         cluster = make_cluster()

@@ -1,0 +1,180 @@
+"""Unit tests for the failpoint registry and its hot-path hooks."""
+
+import random
+
+import pytest
+
+from repro.chaos.failpoints import (
+    SKIP,
+    FailpointRegistry,
+    failpoint,
+    raising,
+    registry,
+    skipping,
+)
+from repro.common.clock import SimClock
+from repro.common.errors import BrokerUnavailableError, ConfigError
+from repro.messaging.cluster import MessagingCluster
+from repro.tools.lint_failpoints import find_static_offenders, main
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    registry().disarm_all()
+    registry().reset_counters()
+    yield
+    registry().disarm_all()
+    registry().reset_counters()
+
+
+class TestRegistry:
+    def test_disarmed_hit_returns_none(self):
+        assert failpoint("never.armed") is None
+        assert registry().fires("never.armed") == 0
+
+    def test_armed_action_fires_at_call_site(self):
+        registry().arm("fp", raising(lambda: BrokerUnavailableError("boom")))
+        with pytest.raises(BrokerUnavailableError):
+            failpoint("fp")
+
+    def test_skip_sentinel(self):
+        registry().arm("fp", skipping)
+        assert failpoint("fp") is SKIP
+
+    def test_action_receives_context(self):
+        seen = {}
+
+        def action(**ctx):
+            seen.update(ctx)
+
+        registry().arm("fp", action)
+        failpoint("fp", broker=3)
+        assert seen == {"name": "fp", "broker": 3}
+
+    def test_times_auto_disarms(self):
+        registry().arm("fp", times=2)
+        failpoint("fp")
+        failpoint("fp")
+        assert not registry().is_armed("fp")
+        assert failpoint("fp") is None
+        assert registry().fires("fp") == 2
+
+    def test_probability_requires_rng(self):
+        with pytest.raises(ConfigError):
+            registry().arm("fp", probability=0.5)
+
+    def test_probability_gate_is_seed_deterministic(self):
+        def pattern(seed):
+            reg = FailpointRegistry()
+            reg.arm("fp", probability=0.5, rng=random.Random(seed))
+            fires = []
+            for _ in range(20):
+                reg.hit("fp", {})
+                fires.append(reg.fires("fp"))
+            return fires
+
+        assert pattern(7) == pattern(7)
+        assert 0 < pattern(7)[-1] < 20
+
+    def test_probability_only_counts_fires(self):
+        reg = FailpointRegistry()
+        reg.arm("fp", times=3, probability=0.5, rng=random.Random(1))
+        for _ in range(50):
+            reg.hit("fp", {})
+        assert reg.fires("fp") == 3
+        assert not reg.is_armed("fp")
+
+    def test_scoped_restores_disarmed_state(self):
+        with registry().scoped("fp", skipping):
+            assert failpoint("fp") is SKIP
+        assert failpoint("fp") is None
+
+    def test_scoped_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with registry().scoped("fp", skipping):
+                raise RuntimeError("bail")
+        assert not registry().is_armed("fp")
+
+    def test_disarm_is_idempotent(self):
+        registry().arm("fp")
+        assert registry().disarm("fp") is True
+        assert registry().disarm("fp") is False
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ConfigError):
+            registry().arm("fp", times=0)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigError):
+            registry().arm("fp", probability=1.5, rng=random.Random(0))
+
+
+class TestHotPathHooks:
+    """The declared failpoints are actually reachable from client calls."""
+
+    def make_cluster(self):
+        cluster = MessagingCluster(num_brokers=1, clock=SimClock())
+        cluster.create_topic("t", num_partitions=1, replication_factor=1)
+        return cluster
+
+    def test_cluster_produce_hook(self):
+        cluster = self.make_cluster()
+        registry().arm(
+            "cluster.produce", raising(lambda: BrokerUnavailableError("chaos"))
+        )
+        with pytest.raises(BrokerUnavailableError):
+            cluster.produce("t", 0, [("k", "v", None, {})])
+        registry().disarm("cluster.produce")
+        cluster.produce("t", 0, [("k", "v", None, {})])
+
+    def test_cluster_fetch_hook(self):
+        cluster = self.make_cluster()
+        cluster.produce("t", 0, [("k", "v", None, {})])
+        registry().arm("cluster.fetch", times=1)
+        cluster.fetch("t", 0, 0)
+        assert registry().fires("cluster.fetch") == 1
+
+    def test_broker_and_log_hooks_fire_on_produce_path(self):
+        cluster = self.make_cluster()
+        registry().arm("broker.produce")
+        registry().arm("log.append")
+        cluster.produce("t", 0, [("k", "v", None, {})])
+        assert registry().fires("broker.produce") == 1
+        assert registry().fires("log.append") == 1
+
+    def test_log_read_hook_fires_on_fetch_path(self):
+        cluster = self.make_cluster()
+        cluster.produce("t", 0, [("k", "v", None, {})])
+        registry().arm("log.read")
+        cluster.fetch("t", 0, 0)
+        assert registry().fires("log.read") >= 1
+
+    def test_replication_sync_skip_stalls_follower(self):
+        cluster = MessagingCluster(num_brokers=2, clock=SimClock())
+        cluster.create_topic("r", num_partitions=1, replication_factor=2)
+        cluster.produce("r", 0, [(None, i, None, {}) for i in range(5)])
+        with registry().scoped("replication.sync", skipping):
+            stats = cluster.tick(0.0)
+            assert stats.messages_copied == 0
+        stats = cluster.tick(0.0)
+        assert stats.messages_copied >= 5
+
+
+class TestLint:
+    def test_library_code_never_arms(self):
+        import repro
+
+        src_root = __import__("pathlib").Path(repro.__file__).parents[1]
+        assert find_static_offenders(src_root) == []
+
+    def test_lint_main_is_clean(self, capsys):
+        assert main([]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_lint_flags_arm_calls(self, tmp_path):
+        bad = tmp_path / "repro" / "storage"
+        bad.mkdir(parents=True)
+        (bad / "evil.py").write_text("registry().arm('x')\n")
+        offenders = find_static_offenders(tmp_path)
+        assert len(offenders) == 1
+        assert "evil.py:1" in offenders[0]

@@ -2,10 +2,24 @@
 
 import pytest
 
+from repro.chaos.failpoints import raising, registry
 from repro.common.clock import SimClock
-from repro.common.errors import ConfigError
+from repro.common.errors import (
+    BrokerUnavailableError,
+    ConfigError,
+    MessagingError,
+    ProducerFlushError,
+)
+from repro.common.records import TopicPartition
 from repro.messaging.cluster import ACKS_ALL, MessagingCluster
 from repro.messaging.producer import Producer, _stable_hash
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    registry().disarm_all()
+    yield
+    registry().disarm_all()
 
 
 def make_cluster(partitions=4, **kwargs) -> MessagingCluster:
@@ -130,10 +144,125 @@ class TestRetries:
         # Kill all brokers: nothing can lead.
         for broker_id in range(3):
             cluster.kill_broker(broker_id)
-        from repro.common.errors import MessagingError
-
         with pytest.raises(MessagingError):
             producer.send("t", "v")
+
+    def test_backoff_is_capped_and_jitter_deterministic(self):
+        def delays(seed):
+            producer = Producer(
+                make_cluster(),
+                retry_backoff=0.1,
+                retry_backoff_max=0.5,
+                retry_jitter_seed=seed,
+            )
+            return [producer._backoff(attempts) for attempts in range(1, 10)]
+
+        a, b = delays(7), delays(7)
+        assert a == b
+        assert delays(7) != delays(8)
+        assert all(d <= 0.5 for d in a)
+        assert all(0.05 <= d for d in a)  # never collapses to zero
+
+    def test_invalid_backoff_rejected(self):
+        with pytest.raises(ConfigError):
+            Producer(make_cluster(), retry_backoff=1.0, retry_backoff_max=0.5)
+
+
+class TestFailureRebuffering:
+    """Regression: a batch that exhausts retries must stay in the producer.
+
+    Pre-fix, ``send``/``flush`` raised with the batch already popped from the
+    buffer — the records were silently gone, and a later flush() had nothing
+    to retry.
+    """
+
+    def test_failed_send_is_rebuffered_and_redelivered(self):
+        cluster = make_cluster(partitions=1)
+        producer = Producer(cluster, max_retries=0)
+        with pytest.raises(MessagingError, match="re-buffered"):
+            with registry().scoped(
+                "cluster.produce",
+                raising(lambda: BrokerUnavailableError("chaos")),
+            ):
+                producer.send("t", "precious")
+        assert producer.pending() == 1  # nothing lost
+        acks = producer.flush()
+        assert len(acks) == 1
+        assert producer.pending() == 0
+        cluster.run_until_replicated()
+        records = cluster.fetch("t", 0, 0).records
+        assert [r.value for r in records] == ["precious"]
+
+    def test_flush_failure_keeps_batch_and_reports_partial_acks(self):
+        cluster = make_cluster(partitions=2)
+        producer = Producer(cluster, linger_messages=10, max_retries=0)
+        producer.send("t", "doomed", partition=0)
+        producer.send("t", "fine", partition=1)
+
+        def fail_partition_0(name, partition, **ctx):
+            if partition.partition == 0:
+                raise BrokerUnavailableError("chaos")
+
+        registry().arm("cluster.produce", fail_partition_0)
+        with pytest.raises(ProducerFlushError) as info:
+            producer.flush()
+        # Partial result: partition 1 acked, partition 0 parked, not lost.
+        assert len(info.value.acks) == 1
+        assert [tp for tp, _exc in info.value.failures] == [
+            TopicPartition("t", 0)
+        ]
+        assert producer.pending() == 1
+        registry().disarm("cluster.produce")
+        producer.flush()
+        assert producer.pending() == 0
+        cluster.run_until_replicated()
+        assert [r.value for r in cluster.fetch("t", 0, 0).records] == ["doomed"]
+
+    def test_sends_behind_a_parked_batch_hold_order(self):
+        cluster = make_cluster(partitions=1)
+        producer = Producer(cluster, max_retries=0)
+        producer.send("t", "v0")
+        with pytest.raises(MessagingError):
+            with registry().scoped(
+                "cluster.produce",
+                raising(lambda: BrokerUnavailableError("chaos")),
+            ):
+                producer.send("t", "v1")
+        # While v1 is parked, v2 must queue behind it, not jump ahead.
+        assert producer.send("t", "v2") is None
+        assert producer.pending() == 2
+        producer.flush()
+        cluster.run_until_replicated()
+        records = cluster.fetch("t", 0, 0).records
+        assert [r.value for r in records] == ["v0", "v1", "v2"]
+
+    def test_idempotent_retry_of_standing_append_dedupes(self):
+        """acks=all failed after the leader append stood: the parked batch
+        retries under its original sequence and the broker dedupes."""
+        cluster = MessagingCluster(num_brokers=3, clock=SimClock())
+        cluster.create_topic(
+            "t", num_partitions=1, replication_factor=3, min_insync_replicas=2
+        )
+        producer = Producer(
+            cluster, acks=ACKS_ALL, idempotent=True, max_retries=0
+        )
+        leader = cluster.leader_of("t", 0)
+        followers = [b for b in range(3) if b != leader]
+        for follower in followers:
+            cluster.broker(follower).shutdown()  # sessions still alive
+        with pytest.raises(MessagingError):
+            producer.send("t", "exactly-once")
+        assert producer.pending() == 1
+        # Leader append stood even though the produce failed.
+        assert cluster.log_end_offset(TopicPartition("t", 0)) == 1
+        for follower in followers:
+            cluster.controller.broker_failed(follower)
+            cluster.restart_broker(follower)
+        cluster.run_until_replicated()
+        (ack,) = producer.flush()
+        assert ack.duplicate  # broker recognized the replayed sequence
+        records = cluster.fetch("t", 0, 0).records
+        assert [r.value for r in records] == ["exactly-once"]
 
 
 class TestIdempotent:
