@@ -65,7 +65,7 @@ def run_scenario(isolation: bool) -> dict:
             producer.send("victim-in", {"i": i}, timestamp=clock.now())
         report = host.run_quantum(DT)
         victim_done += report.processed["victim"]
-    age_histogram = cluster.metrics.histogram("job.victim.record_age")
+    age_histogram = cluster.metrics.histogram("processing.job.victim.record_age")
     return {
         "isolation": isolation,
         "victim_processed": victim_done,

@@ -247,6 +247,44 @@ def run_all(quick: bool) -> dict:
     }
 
 
+def _rate(kernel: dict) -> float:
+    """The kernel's headline throughput (batched arm where there is one)."""
+    return kernel.get("batched_msgs_per_s", kernel.get("msgs_per_s", 0.0))
+
+
+def _check_baseline(
+    report: dict, baseline_path: pathlib.Path, max_slowdown: float
+) -> list[str]:
+    """Compare per-kernel throughput against a recorded baseline report.
+
+    The guard catches *hot-path regressions* — e.g. a disarmed tracing hook
+    that stopped being one cheap check — not machine-to-machine variance,
+    so the tolerance is deliberately generous (CI runners are noisy and the
+    baseline may come from a full run while CI runs ``--quick``).
+    """
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for name, kernel in report["kernels"].items():
+        base_kernel = baseline.get("kernels", {}).get(name)
+        if base_kernel is None:
+            continue
+        current, recorded = _rate(kernel), _rate(base_kernel)
+        if recorded <= 0:
+            continue
+        slowdown = recorded / max(current, 1e-9)
+        marker = "FAIL" if slowdown > max_slowdown else "ok"
+        print(
+            f"  baseline {name:18s} {current:>12,.0f} msgs/s vs "
+            f"{recorded:>12,.0f} recorded ({slowdown:.2f}x slower) {marker}"
+        )
+        if slowdown > max_slowdown:
+            failures.append(
+                f"{name}: {slowdown:.2f}x slower than baseline "
+                f"(limit {max_slowdown}x)"
+            )
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -261,6 +299,16 @@ def main(argv: list[str] | None = None) -> int:
         "--min-append-speedup", type=float, default=None,
         help="fail unless the linger=200 append speedup meets this floor",
     )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="recorded report to compare throughput against "
+             "(e.g. the committed BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=3.0,
+        help="fail if any kernel is this many times slower than the "
+             "baseline (default 3.0; generous on purpose)",
+    )
     args = parser.parse_args(argv)
     report = run_all(args.quick)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
@@ -272,6 +320,12 @@ def main(argv: list[str] | None = None) -> int:
             f"{args.min_append_speedup}x"
         )
         return 1
+    if args.baseline is not None:
+        failures = _check_baseline(report, args.baseline, args.max_slowdown)
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
     return 0
 
 

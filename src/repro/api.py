@@ -1,0 +1,118 @@
+"""The supported public API surface, in one curated module.
+
+``repro.api`` is the stability contract: everything re-exported here (and
+listed in ``__all__``) is covered by the API-snapshot test
+(``tests/unit/test_public_api.py``) and the policy in DESIGN.md §11 —
+additions are fine, removals and signature changes of these names are
+breaking.  Anything imported from deeper module paths is internal and may
+change without notice.
+
+Grouped by role:
+
+* **stack** — :class:`Liquid` (the facade), :class:`MessagingCluster`;
+* **clients** — :class:`Producer` / :class:`Consumer` and their frozen
+  config dataclasses;
+* **processing** — :class:`JobConfig`, :class:`StoreConfig`,
+  :class:`JobRunner`;
+* **observability** — the tracer and its install/query helpers;
+* **records / time** — the record types, :class:`TopicPartition`,
+  :class:`SimClock`, :class:`CostModel`;
+* **errors** — the root :class:`LiquidError` plus the error types callers
+  are expected to catch.
+"""
+
+from __future__ import annotations
+
+from repro.common.clock import SimClock
+from repro.common.costmodel import CostModel
+from repro.common.errors import (
+    AuthorizationError,
+    ConfigError,
+    LiquidError,
+    MessagingError,
+    ProcessingError,
+    SerdeError,
+)
+from repro.common.metrics import MetricsRegistry, metric_name
+from repro.common.records import (
+    TRACE_HEADER,
+    ConsumerRecord,
+    ProducerRecord,
+    TopicPartition,
+)
+from repro.core.liquid import Liquid
+from repro.messaging.cluster import (
+    ACKS_ALL,
+    ACKS_LEADER,
+    ACKS_NONE,
+    MessagingCluster,
+)
+from repro.messaging.config import (
+    PARTITIONER_HASH,
+    PARTITIONER_ROUND_ROBIN,
+    ConsumerConfig,
+    ProducerConfig,
+)
+from repro.messaging.consumer import Consumer
+from repro.messaging.producer import Producer
+from repro.observability.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    tracing,
+    uninstall_tracer,
+)
+from repro.processing.job import JobConfig, JobRunner, StoreConfig
+from repro.tools.admin import AdminClient
+from repro.tools.tracequery import SpanNode, TraceQuery, render_timeline
+
+__all__ = [
+    # stack
+    "Liquid",
+    "MessagingCluster",
+    # clients + configs
+    "Producer",
+    "ProducerConfig",
+    "Consumer",
+    "ConsumerConfig",
+    "ACKS_NONE",
+    "ACKS_LEADER",
+    "ACKS_ALL",
+    "PARTITIONER_HASH",
+    "PARTITIONER_ROUND_ROBIN",
+    # processing
+    "JobConfig",
+    "StoreConfig",
+    "JobRunner",
+    # observability
+    "Tracer",
+    "Span",
+    "TraceContext",
+    "TRACE_HEADER",
+    "current_tracer",
+    "install_tracer",
+    "uninstall_tracer",
+    "tracing",
+    "TraceQuery",
+    "SpanNode",
+    "render_timeline",
+    # tools / metrics
+    "AdminClient",
+    "MetricsRegistry",
+    "metric_name",
+    # records / time
+    "ProducerRecord",
+    "ConsumerRecord",
+    "TopicPartition",
+    "SimClock",
+    "CostModel",
+    # errors
+    "LiquidError",
+    "ConfigError",
+    "MessagingError",
+    "ProcessingError",
+    "SerdeError",
+    "AuthorizationError",
+]

@@ -180,6 +180,10 @@ class QuotaExceededError(ProcessingError):
 # Liquid core
 # ---------------------------------------------------------------------------
 
+class AuthorizationError(LiquidError):
+    """The principal lacks the required grant (see :mod:`repro.core.access`)."""
+
+
 class FeedError(LiquidError):
     """Base class for feed-registry errors."""
 

@@ -13,7 +13,44 @@ are bounded and determinism matters more than constant memory.
 from __future__ import annotations
 
 import math
+import re
 from typing import Iterable, Iterator
+
+from repro.common.errors import ConfigError
+
+#: Layers a conventional metric name may start with.  The convention is
+#: ``layer.component.metric`` (dot-separated, lower-case, digits and
+#: underscores allowed inside segments) — e.g.
+#: ``messaging.broker.messages_in`` or ``processing.job.enrich.processed``.
+METRIC_LAYERS = ("messaging", "storage", "processing", "core", "tools")
+
+#: Full-name pattern for :func:`is_conventional`: at least three segments,
+#: starting with a known layer.
+_CONVENTION = re.compile(
+    r"^(?:%s)(?:\.[a-z0-9_]+){2,}$" % "|".join(METRIC_LAYERS)
+)
+
+
+def metric_name(layer: str, component: str, *parts: str) -> str:
+    """Build a convention-compliant metric name.
+
+    Deployment metrics all funnel through this helper (call sites hoist the
+    result to a module-level constant, so the hot path pays only a dict
+    lookup).  The registry itself stays name-agnostic — tests and scratch
+    code can register short ad-hoc names.
+    """
+    if layer not in METRIC_LAYERS:
+        raise ConfigError(
+            f"unknown metric layer {layer!r}; expected one of {METRIC_LAYERS}"
+        )
+    if not component or not parts:
+        raise ConfigError("metric_name needs a component and at least one part")
+    return ".".join((layer, component) + parts)
+
+
+def is_conventional(name: str) -> bool:
+    """True if ``name`` follows the ``layer.component.metric`` convention."""
+    return _CONVENTION.match(name) is not None
 
 
 class Counter:

@@ -24,6 +24,13 @@ from typing import Any, Mapping
 #: Per-record framing overhead charged by the log (offset, length, crc).
 RECORD_FRAMING_BYTES = 24
 
+#: Reserved header key carrying a
+#: :class:`~repro.observability.trace.TraceContext`.  Size accounting skips
+#: it so installing a tracer never changes a record's charged bytes — the
+#: observe-don't-mutate invariant the trace-transparency property test
+#: enforces.
+TRACE_HEADER = "__trace"
+
 
 def estimate_size(value: Any) -> int:
     """Approximate serialized size in bytes of a message component.
@@ -44,6 +51,8 @@ def estimate_size(value: Any) -> int:
     if tp is dict:
         total = 0
         for k, v in value.items():
+            if k == TRACE_HEADER:
+                continue  # accounting-invisible (see TRACE_HEADER)
             total += estimate_size(k) + estimate_size(v) + 2
         return total
     if tp is int:
@@ -73,7 +82,9 @@ def _estimate_size_slow(value: Any) -> int:
         return 8
     if isinstance(value, _AbcMapping):
         return sum(
-            estimate_size(k) + estimate_size(v) + 2 for k, v in value.items()
+            estimate_size(k) + estimate_size(v) + 2
+            for k, v in value.items()
+            if k != TRACE_HEADER
         )
     if isinstance(value, (list, tuple, set, frozenset)):
         return sum(estimate_size(item) + 1 for item in value)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterable
 
-from repro.common.errors import ConfigError, LiquidError
+from repro.common.errors import AuthorizationError, ConfigError
 
 #: Operations, in the paper's spirit: read a feed, write a feed, create
 #: feeds / submit jobs deriving new feeds.
@@ -24,9 +24,11 @@ OP_WRITE = "write"
 OP_CREATE = "create"
 OPERATIONS = (OP_READ, OP_WRITE, OP_CREATE)
 
-
-class AuthorizationError(LiquidError):
-    """The principal lacks the required grant."""
+# Backwards-compatible re-export: AuthorizationError moved to the common
+# error hierarchy so every library error lives under one module.
+__all__ = ["AuthorizationError", "AclEntry", "AccessController",
+           "SecureProducer", "SecureConsumer",
+           "OP_READ", "OP_WRITE", "OP_CREATE", "OPERATIONS"]
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ isolated container hosts for those jobs.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Iterable
 
 from repro.common.clock import Clock, SimClock
@@ -23,6 +24,7 @@ from repro.common.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.common.errors import ConfigError, FeedNotFoundError
 from repro.common.records import TopicPartition
 from repro.messaging.cluster import MessagingCluster
+from repro.messaging.config import ConsumerConfig, ProducerConfig
 from repro.messaging.consumer import Consumer
 from repro.messaging.consumer_group import GroupCoordinator
 from repro.messaging.producer import Producer
@@ -130,13 +132,20 @@ class Liquid:
 
     # -- clients ------------------------------------------------------------------------
 
-    def producer(self, principal: str | None = None, **kwargs: Any):
+    def producer(
+        self,
+        principal: str | None = None,
+        config: ProducerConfig | None = None,
+        **kwargs: Any,
+    ):
         """A producer publishing into the stack's feeds.
 
-        With access control enabled, pass the team's ``principal``; writes
-        are then checked against its grants.
+        Pass a :class:`~repro.messaging.config.ProducerConfig` (or the
+        legacy keyword options; unknown ones raise ``ConfigError``).  With
+        access control enabled, pass the team's ``principal``; writes are
+        then checked against its grants.
         """
-        producer = Producer(self.cluster, **kwargs)
+        producer = Producer(self.cluster, config=config, **kwargs)
         if self.acl.enabled:
             return SecureProducer(producer, self.acl, principal or "")
         return producer
@@ -145,15 +154,32 @@ class Liquid:
         self,
         group: str | None = None,
         principal: str | None = None,
+        config: ConsumerConfig | None = None,
         **kwargs: Any,
     ):
-        """A consumer for back-end systems; pass ``group`` for queue semantics."""
-        consumer = Consumer(
-            self.cluster,
-            group=group,
-            group_coordinator=self.group_coordinator if group else None,
-            **kwargs,
-        )
+        """A consumer for back-end systems; pass ``group`` for queue semantics.
+
+        Accepts a :class:`~repro.messaging.config.ConsumerConfig` or the
+        legacy keyword options.  ``group`` may come from either the config
+        or the argument (the argument wins if both are given).
+        """
+        if config is not None:
+            if group is not None and config.group != group:
+                config = replace(config, group=group)
+            consumer = Consumer(
+                self.cluster,
+                config=config,
+                group_coordinator=(
+                    self.group_coordinator if config.group or group else None
+                ),
+            )
+        else:
+            consumer = Consumer(
+                self.cluster,
+                group=group,
+                group_coordinator=self.group_coordinator if group else None,
+                **kwargs,
+            )
         if self.acl.enabled:
             return SecureConsumer(consumer, self.acl, principal or "")
         return consumer

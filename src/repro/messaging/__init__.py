@@ -8,6 +8,7 @@ from repro.messaging.cluster import (
     MessagingCluster,
     ProduceAck,
 )
+from repro.messaging.config import ConsumerConfig, ProducerConfig
 from repro.messaging.consumer import Consumer
 from repro.messaging.consumer_group import (
     ASSIGN_RANGE,
@@ -46,6 +47,8 @@ __all__ = [
     "PartitionReplica",
     "ProduceResult",
     "Producer",
+    "ProducerConfig",
+    "ConsumerConfig",
     "PARTITIONER_HASH",
     "PARTITIONER_ROUND_ROBIN",
     "ReplicationManager",

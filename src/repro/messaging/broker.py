@@ -21,7 +21,7 @@ from repro.common.errors import (
     ConfigError,
     PartitionNotFoundError,
 )
-from repro.common.metrics import MetricsRegistry
+from repro.common.metrics import MetricsRegistry, metric_name
 from repro.common.records import StoredMessage, TopicPartition
 from repro.chaos.failpoints import failpoint
 from repro.storage.compaction import CompactionConfig, LogCompactor
@@ -31,6 +31,15 @@ from repro.storage.retention import RetentionEnforcer
 from repro.storage.tiered import ColdTier, ObjectStore
 from repro.messaging.partition import PartitionReplica, ProduceResult
 from repro.messaging.topic import TopicConfig
+
+# Metric names precomputed once (layer.component.metric convention).
+_M_MESSAGES_IN = metric_name("messaging", "broker", "messages_in")
+_M_MESSAGES_OUT = metric_name("messaging", "broker", "messages_out")
+_M_PRODUCE_LATENCY = metric_name("messaging", "broker", "produce_latency")
+_M_FETCH_LATENCY = metric_name("messaging", "broker", "fetch_latency")
+_M_RETENTION_DELETED = metric_name("messaging", "broker", "retention_deleted")
+_M_RETENTION_ARCHIVED = metric_name("messaging", "broker", "retention_archived")
+_M_COMPACTION_REMOVED = metric_name("messaging", "broker", "compaction_removed")
 
 
 class Broker:
@@ -134,8 +143,8 @@ class Broker:
         replica = self.replica(partition)
         result = replica.append_batch(entries, epoch, producer_id, producer_seq)
         latency = self.cost_model.request(len(entries)) + result.latency
-        self.metrics.counter("broker.messages_in").increment(len(entries))
-        self.metrics.histogram("broker.produce_latency").observe(latency)
+        self.metrics.counter(_M_MESSAGES_IN).increment(len(entries))
+        self.metrics.histogram(_M_PRODUCE_LATENCY).observe(latency)
         return result, latency
 
     def fetch(
@@ -155,8 +164,8 @@ class Broker:
             isolation=isolation,
         )
         latency = self.cost_model.request(len(result.messages)) + result.latency
-        self.metrics.counter("broker.messages_out").increment(len(result.messages))
-        self.metrics.histogram("broker.fetch_latency").observe(latency)
+        self.metrics.counter(_M_MESSAGES_OUT).increment(len(result.messages))
+        self.metrics.histogram(_M_FETCH_LATENCY).observe(latency)
         return result, latency
 
     def replica_fetch(
@@ -201,9 +210,9 @@ class Broker:
             deleted += result.messages_deleted
             archived += result.segments_archived
         if deleted:
-            self.metrics.counter("broker.retention_deleted").increment(deleted)
+            self.metrics.counter(_M_RETENTION_DELETED).increment(deleted)
         if archived:
-            self.metrics.counter("broker.retention_archived").increment(archived)
+            self.metrics.counter(_M_RETENTION_ARCHIVED).increment(archived)
         return deleted
 
     def run_compaction(self) -> int:
@@ -216,7 +225,7 @@ class Broker:
             result = self._compactor.compact(replica.log)
             removed += result.messages_removed
         if removed:
-            self.metrics.counter("broker.compaction_removed").increment(removed)
+            self.metrics.counter(_M_COMPACTION_REMOVED).increment(removed)
         return removed
 
     # -- lifecycle ----------------------------------------------------------------------------

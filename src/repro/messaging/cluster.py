@@ -32,7 +32,7 @@ from repro.common.errors import (
     TopicAlreadyExistsError,
     TopicNotFoundError,
 )
-from repro.common.metrics import MetricsRegistry
+from repro.common.metrics import MetricsRegistry, metric_name
 from repro.common.records import (
     RECORD_FRAMING_BYTES,
     ConsumerRecord,
@@ -55,6 +55,17 @@ ACKS_NONE = "none"
 ACKS_LEADER = "leader"
 ACKS_ALL = "all"
 _ACK_MODES = (ACKS_NONE, ACKS_LEADER, ACKS_ALL)
+
+# Metric names precomputed once (layer.component.metric convention); the
+# per-acks latency histograms are a closed set, so the hot path does one
+# dict lookup instead of an f-string build.
+_M_MESSAGES_IN = metric_name("messaging", "cluster", "messages_in")
+_M_MESSAGES_OUT = metric_name("messaging", "cluster", "messages_out")
+_M_FETCH_LATENCY = metric_name("messaging", "cluster", "fetch_latency")
+_M_PRODUCE_LATENCY = {
+    mode: metric_name("messaging", "cluster", "produce_latency", mode)
+    for mode in _ACK_MODES
+}
 
 
 @dataclass
@@ -326,8 +337,8 @@ class MessagingCluster:
         latency += broker_latency
         if acks == ACKS_ALL and not result.duplicate:
             latency += self._replicate_synchronously(tp, state, batch_bytes)
-        self.metrics.histogram(f"cluster.produce_latency.{acks}").observe(latency)
-        self.metrics.counter("cluster.messages_in").increment(len(entries))
+        self.metrics.histogram(_M_PRODUCE_LATENCY[acks]).observe(latency)
+        self.metrics.counter(_M_MESSAGES_IN).increment(len(entries))
         return ProduceAck(
             tp, result.base_offset, result.last_offset, latency, result.duplicate
         )
@@ -441,8 +452,8 @@ class MessagingCluster:
         latency += self.cost_model.network_transfer(out_bytes)
         if client_id is not None:
             latency += self.quotas.record_fetch(client_id, out_bytes)
-        self.metrics.histogram("cluster.fetch_latency").observe(latency)
-        self.metrics.counter("cluster.messages_out").increment(len(records))
+        self.metrics.histogram(_M_FETCH_LATENCY).observe(latency)
+        self.metrics.counter(_M_MESSAGES_OUT).increment(len(records))
         return FetchResult(records, latency, result.next_offset)
 
     # -- offset / metadata queries -----------------------------------------------------------
@@ -553,8 +564,8 @@ class MessagingCluster:
             "partitions": partition_count,
             "replicas": replica_count,
             "stored_bytes": stored_bytes,
-            "messages_in": self.metrics.counter("cluster.messages_in").value,
-            "messages_out": self.metrics.counter("cluster.messages_out").value,
+            "messages_in": self.metrics.counter(_M_MESSAGES_IN).value,
+            "messages_out": self.metrics.counter(_M_MESSAGES_OUT).value,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

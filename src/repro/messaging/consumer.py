@@ -23,9 +23,11 @@ from repro.common.errors import (
     NotLeaderForPartitionError,
     OffsetOutOfRangeError,
 )
-from repro.common.records import ConsumerRecord, TopicPartition
+from repro.common.records import TRACE_HEADER, ConsumerRecord, TopicPartition
 from repro.messaging.cluster import MessagingCluster
+from repro.messaging.config import ConsumerConfig
 from repro.messaging.consumer_group import GroupCoordinator
+from repro.observability.trace import current_tracer
 
 AutoOffsetReset = Literal["earliest", "latest"]
 
@@ -33,41 +35,40 @@ _consumer_ids = itertools.count(1)
 
 
 class Consumer:
-    """Pull-based consumer with optional group membership."""
+    """Pull-based consumer with optional group membership.
+
+    Construction takes either a frozen
+    :class:`~repro.messaging.config.ConsumerConfig` or the legacy keyword
+    arguments (delegated to the dataclass; unknown keywords raise
+    :class:`~repro.common.errors.ConfigError`).  The ``group_coordinator``
+    stays a constructor argument: it is live runtime wiring, not config.
+    """
 
     def __init__(
         self,
         cluster: MessagingCluster,
-        group: str | None = None,
+        config: ConsumerConfig | None = None,
         group_coordinator: GroupCoordinator | None = None,
-        auto_offset_reset: AutoOffsetReset = "earliest",
-        max_poll_messages: int = 100,
-        isolation_level: str = "read_uncommitted",
-        client_id: str | None = None,
-        key_serde: Any = None,
-        value_serde: Any = None,
+        **kwargs: Any,
     ) -> None:
-        if auto_offset_reset not in ("earliest", "latest"):
+        if config is not None and kwargs:
             raise ConfigError(
-                f"auto_offset_reset must be 'earliest' or 'latest', "
-                f"got {auto_offset_reset!r}"
+                "pass either a ConsumerConfig or keyword options, not both"
             )
-        if isolation_level not in ("read_uncommitted", "read_committed"):
-            raise ConfigError(
-                f"isolation_level must be 'read_uncommitted' or "
-                f"'read_committed', got {isolation_level!r}"
-            )
-        if group is not None and group_coordinator is None:
+        if config is None:
+            config = ConsumerConfig.from_kwargs(**kwargs)
+        if config.group is not None and group_coordinator is None:
             raise ConfigError("group subscription requires a group_coordinator")
+        self.config = config
         self.cluster = cluster
-        self.group = group
+        self.group = config.group
         self.group_coordinator = group_coordinator
-        self.auto_offset_reset = auto_offset_reset
-        self.max_poll_messages = max_poll_messages
-        self.isolation_level = isolation_level
-        self.client_id = client_id
-        self.key_serde = key_serde
-        self.value_serde = value_serde
+        self.auto_offset_reset = config.auto_offset_reset
+        self.max_poll_messages = config.max_poll_messages
+        self.isolation_level = config.isolation_level
+        self.client_id = config.client_id
+        self.key_serde = config.key_serde
+        self.value_serde = config.value_serde
         self.member_id = f"consumer-{next(_consumer_ids)}"
         self._assignment: list[TopicPartition] = []
         self._positions: dict[TopicPartition, int] = {}
@@ -173,6 +174,19 @@ class Consumer:
         self._rr = (self._rr + 1) % n
         self.last_poll_latency = latency
         self.records_consumed += len(records)
+        tracer = current_tracer()
+        if tracer is not None and records:
+            now = self.cluster.clock.now()
+            for r in records:
+                ctx = r.headers.get(TRACE_HEADER) if r.headers else None
+                if ctx is not None:
+                    span = tracer.record(
+                        "consumer.poll", ctx, now, now,
+                        topic=r.topic, partition=r.partition, offset=r.offset,
+                        member=self.member_id,
+                    )
+                    if self.group is not None:
+                        span.attrs["group"] = self.group
         return records
 
     def _deserialize(self, record: ConsumerRecord) -> ConsumerRecord:

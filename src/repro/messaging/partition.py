@@ -28,7 +28,8 @@ from repro.common.errors import (
     NotLeaderForPartitionError,
     StaleEpochError,
 )
-from repro.common.records import StoredMessage, TopicPartition
+from repro.common.records import TRACE_HEADER, StoredMessage, TopicPartition
+from repro.observability.trace import current_tracer
 from repro.storage.log import PartitionLog, ReadResult
 from repro.storage.tiered.tier import ColdTier
 
@@ -160,6 +161,19 @@ class PartitionReplica:
             raise
         self._track_entry_transactions(entries, batch.base_offset, self.log.log_end_offset)
         result = ProduceResult(batch.base_offset, batch.last_offset, batch.latency)
+        tracer = current_tracer()
+        if tracer is not None:
+            now = self.log.clock.now()
+            for i, entry in enumerate(entries):
+                ctx = entry[3].get(TRACE_HEADER) if entry[3] else None
+                if ctx is not None:
+                    tracer.record(
+                        "broker.append", ctx, now, now + batch.latency,
+                        broker=self.broker_id,
+                        topic=self.partition.topic,
+                        partition=self.partition.partition,
+                        offset=batch.base_offset + i,
+                    )
         if producer_id is not None and producer_seq is not None:
             self._producer_seqs[producer_id] = producer_seq
             self._producer_results[(producer_id, producer_seq)] = result
@@ -222,14 +236,17 @@ class PartitionReplica:
         Without a cold tier the read raises
         :class:`~repro.common.errors.OffsetOutOfRangeError` as before.
         """
-        if (
+        cold = (
             self.cold_tier is not None
             and offset < self.log.log_start_offset
-        ):
+        )
+        if cold:
             result = self.cold_tier.read_through(offset, max_messages, max_bytes)
         else:
             result = self.log.read(offset, max_messages, max_bytes)
         if not committed_only:
+            # Replica fetches: no spans — replication has its own stage
+            # (``replication.replicate``) on the follower's append.
             return result
         bound = self.high_watermark
         if isolation == "read_committed":
@@ -246,6 +263,20 @@ class PartitionReplica:
             ):
                 continue
             visible.append(message)
+        tracer = current_tracer()
+        if tracer is not None and visible:
+            now = self.log.clock.now()
+            for message in visible:
+                ctx = message.headers.get(TRACE_HEADER) if message.headers else None
+                if ctx is not None:
+                    tracer.record(
+                        "broker.fetch", ctx, now, now + result.latency,
+                        broker=self.broker_id,
+                        topic=self.partition.topic,
+                        partition=self.partition.partition,
+                        offset=message.offset,
+                        cold=cold,
+                    )
         next_offset = min(result.next_offset, bound)
         next_offset = max(next_offset, offset)
         return ReadResult(
@@ -280,6 +311,19 @@ class PartitionReplica:
         for copy in copies:
             if copy.headers:
                 self._absorb_producer_state(copy)
+        tracer = current_tracer()
+        if tracer is not None:
+            now = self.log.clock.now()
+            for copy in copies:
+                ctx = copy.headers.get(TRACE_HEADER) if copy.headers else None
+                if ctx is not None:
+                    tracer.record(
+                        "replication.replicate", ctx, now, now + latency,
+                        follower=self.broker_id,
+                        topic=self.partition.topic,
+                        partition=self.partition.partition,
+                        offset=copy.offset,
+                    )
         return latency
 
     def _track_transaction(self, headers: dict[str, Any], offset: int) -> None:

@@ -9,6 +9,15 @@ The producer adds the client-side behaviours the brokers don't provide:
 partition selection, optional batching (``linger_messages``), bounded
 retries on leadership changes (at-least-once delivery), and the optional
 idempotent mode that upgrades retries to exactly-once per partition.
+
+Construction takes either a frozen
+:class:`~repro.messaging.config.ProducerConfig` or the legacy keyword
+arguments (which delegate to the dataclass; unknown keywords raise
+:class:`~repro.common.errors.ConfigError`).
+
+``send`` is also the root of the per-record tracing layer: with a tracer
+installed (:mod:`repro.observability.trace`) each sampled record starts a
+trace here, carried downstream in the reserved ``__trace`` header.
 """
 
 from __future__ import annotations
@@ -16,7 +25,7 @@ from __future__ import annotations
 import itertools
 import random
 import zlib
-from typing import Any, Callable
+from typing import Any
 
 from repro.common.errors import (
     BrokerUnavailableError,
@@ -27,8 +36,14 @@ from repro.common.errors import (
     ProducerFlushError,
     StaleEpochError,
 )
-from repro.common.records import ProducerRecord, TopicPartition
-from repro.messaging.cluster import ACKS_LEADER, MessagingCluster, ProduceAck
+from repro.common.records import TRACE_HEADER, ProducerRecord, TopicPartition
+from repro.messaging.cluster import MessagingCluster, ProduceAck
+from repro.messaging.config import (
+    PARTITIONER_HASH,
+    PARTITIONER_ROUND_ROBIN,
+    ProducerConfig,
+)
+from repro.observability.trace import current_tracer
 
 #: Transient produce failures the retry loop absorbs.  NotEnoughReplicas is
 #: retriable because the ISR usually recovers (follower catch-up re-expands
@@ -39,10 +54,6 @@ _RETRIABLE = (
     StaleEpochError,
     NotEnoughReplicasError,
 )
-
-#: Partitioner strategies.
-PARTITIONER_HASH = "hash"
-PARTITIONER_ROUND_ROBIN = "round_robin"
 
 _producer_ids = itertools.count(1)
 
@@ -58,50 +69,37 @@ class Producer:
     def __init__(
         self,
         cluster: MessagingCluster,
-        acks: str = ACKS_LEADER,
-        partitioner: str | Callable[[Any, int], int] = PARTITIONER_HASH,
-        linger_messages: int = 1,
-        max_retries: int = 3,
-        idempotent: bool = False,
-        client_id: str | None = None,
-        key_serde: Any = None,
-        value_serde: Any = None,
-        retry_backoff: float = 0.05,
-        retry_backoff_max: float = 2.0,
-        retry_jitter_seed: int | None = None,
+        config: ProducerConfig | None = None,
+        **kwargs: Any,
     ) -> None:
-        if linger_messages < 1:
-            raise ConfigError("linger_messages must be >= 1")
-        if max_retries < 0:
-            raise ConfigError("max_retries must be >= 0")
-        if retry_backoff < 0 or retry_backoff_max < retry_backoff:
+        if config is not None and kwargs:
             raise ConfigError(
-                "need 0 <= retry_backoff <= retry_backoff_max"
+                "pass either a ProducerConfig or keyword options, not both"
             )
-        if isinstance(partitioner, str) and partitioner not in (
-            PARTITIONER_HASH,
-            PARTITIONER_ROUND_ROBIN,
-        ):
-            raise ConfigError(f"unknown partitioner {partitioner!r}")
+        if config is None:
+            config = ProducerConfig.from_kwargs(**kwargs)
+        self.config = config
         self.cluster = cluster
-        self.acks = acks
-        self.partitioner = partitioner
-        self.linger_messages = linger_messages
-        self.max_retries = max_retries
-        self.idempotent = idempotent
-        self.client_id = client_id
+        self.acks = config.acks
+        self.partitioner = config.partitioner
+        self.linger_messages = config.linger_messages
+        self.max_retries = config.max_retries
+        self.idempotent = config.idempotent
+        self.client_id = config.client_id
         # Optional typed boundary: values/keys are serialized on the way in
         # (see repro.common.serde; pass e.g. JsonSerde() or a name like
         # "json" resolved via serde_by_name at the call site).
-        self.key_serde = key_serde
-        self.value_serde = value_serde
+        self.key_serde = config.key_serde
+        self.value_serde = config.value_serde
         self.producer_id = next(_producer_ids)
-        self.retry_backoff = retry_backoff
-        self.retry_backoff_max = retry_backoff_max
+        self.retry_backoff = config.retry_backoff
+        self.retry_backoff_max = config.retry_backoff_max
         # Deterministic jitter: seeded from the producer id unless the caller
         # pins a seed (chaos soaks do, for byte-identical replays).
         self._retry_rng = random.Random(
-            self.producer_id if retry_jitter_seed is None else retry_jitter_seed
+            self.producer_id
+            if config.retry_jitter_seed is None
+            else config.retry_jitter_seed
         )
         self._round_robin: dict[str, itertools.count] = {}
         self._sequences: dict[TopicPartition, int] = {}
@@ -163,6 +161,24 @@ class Producer:
             value = self.value_serde.serialize(value)
         if self.key_serde is not None and key is not None:
             key = self.key_serde.serialize(key)
+        tracer = current_tracer()
+        span = None
+        if tracer is not None:
+            # A __trace header already present means this record continues an
+            # existing trace (e.g. a job emitting to a derived feed) — parent
+            # on it rather than starting (and re-sampling) a new trace.
+            parent = headers.get(TRACE_HEADER) if headers else None
+            span = tracer.open_span(
+                "produce.send",
+                parent,
+                start=self.cluster.clock.now(),
+                topic=topic,
+            )
+            if span is not None:
+                if self.client_id is not None:
+                    span.attrs["client_id"] = self.client_id
+                headers = dict(headers) if headers else {}
+                headers[TRACE_HEADER] = span.context()
         record = ProducerRecord(
             topic=topic,
             value=value,
@@ -172,9 +188,20 @@ class Producer:
             headers=headers if headers is not None else {},
         )
         tp = TopicPartition(topic, self._choose_partition(record))
+        if span is not None:
+            span.attrs["partition"] = tp.partition
         entry = (record.key, record.value, record.timestamp, record.headers)
         if self.linger_messages == 1 and tp not in self._failed_batches:
-            return self._send_batch(tp, [entry])
+            if span is None:
+                return self._send_batch(tp, [entry])
+            try:
+                ack = self._send_batch(tp, [entry])
+            except MessagingError as exc:
+                span.attrs["error"] = type(exc).__name__
+                raise
+            finally:
+                tracer.close(span, end=self.cluster.clock.now())
+            return ack
         buffer = self._buffers.setdefault(tp, [])
         buffer.append(entry)
         if (
@@ -182,7 +209,22 @@ class Producer:
             and tp not in self._failed_batches
         ):
             del self._buffers[tp]
-            return self._send_batch(tp, buffer)
+            if span is None:
+                return self._send_batch(tp, buffer)
+            span.attrs["batched"] = len(buffer)
+            try:
+                ack = self._send_batch(tp, buffer)
+            except MessagingError as exc:
+                span.attrs["error"] = type(exc).__name__
+                raise
+            finally:
+                tracer.close(span, end=self.cluster.clock.now())
+            return ack
+        if span is not None:
+            # Buffered: the send span covers only hand-off to the batch
+            # buffer; broker-side spans appear when the batch flushes.
+            span.attrs["buffered"] = True
+            tracer.close(span)
         return None
 
     def flush(self) -> list[ProduceAck]:

@@ -1,0 +1,27 @@
+"""Observability: per-record distributed tracing across both layers.
+
+See :mod:`repro.observability.trace` for the tracer itself and
+:mod:`repro.tools.tracequery` for reconstruction/rendering of span trees.
+"""
+
+from repro.observability.trace import (
+    TRACE_HEADER,
+    Span,
+    TraceContext,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    tracing,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "current_tracer",
+    "install_tracer",
+    "uninstall_tracer",
+    "tracing",
+    "TRACE_HEADER",
+]

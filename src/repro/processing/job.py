@@ -25,15 +25,17 @@ from typing import Any, Callable
 from repro.chaos.failpoints import SKIP, failpoint
 from repro.common.clock import SimClock
 from repro.common.errors import JobConfigError, TaskFailedError
-from repro.common.records import ConsumerRecord, TopicPartition
+from repro.common.metrics import metric_name
+from repro.common.records import TRACE_HEADER, ConsumerRecord, TopicPartition
 from repro.messaging.cluster import ACKS_LEADER, MessagingCluster
 from repro.messaging.producer import Producer
+from repro.observability.trace import TraceContext, Tracer, current_tracer
 from repro.messaging.topic import TopicConfig
 from repro.storage.log import LogConfig
 from repro.processing.checkpoint import CheckpointManager
 from repro.processing.state import KeyValueState, changelog_topic_name
 from repro.processing.store import make_store
-from repro.processing.task import MessageCollector, StreamTask, TaskContext
+from repro.processing.task import Emit, MessageCollector, StreamTask, TaskContext
 
 
 @dataclass(frozen=True)
@@ -122,6 +124,14 @@ class JobRunner:
         self.max_fetch_per_partition = max_fetch_per_partition
         self.clock = cluster.clock
         self.metrics = cluster.metrics
+        # Per-job metric names, precomputed once (convention:
+        # layer.component.metric, with the job name as a sub-component).
+        self._m_processed = metric_name(
+            "processing", "job", config.name, "processed"
+        )
+        self._m_record_age = metric_name(
+            "processing", "job", config.name, "record_age"
+        )
         self.producer = Producer(cluster, acks=config.acks)
         # Changelog writes are the job's state durability: they always use
         # acks=all, independent of the output acks, so a checkpointed input
@@ -237,7 +247,7 @@ class JobRunner:
         if result.latency and self.auto_advance_clock and isinstance(self.clock, SimClock):
             self.clock.advance(result.latency)
         if result.records_processed:
-            self.metrics.counter(f"job.{self.config.name}.processed").increment(
+            self.metrics.counter(self._m_processed).increment(
                 result.records_processed
             )
         return result
@@ -252,6 +262,7 @@ class JobRunner:
             max_messages if max_messages is not None else self.max_fetch_per_partition
         )
         collector = MessageCollector()
+        tracer = current_tracer()
         for tp in instance.partitions:
             if budget <= 0:
                 break
@@ -260,29 +271,44 @@ class JobRunner:
             )
             result.latency += fetched.latency
             for record in fetched.records:
-                self._process_record(instance, record, collector, result)
+                ctx = self._process_record(
+                    instance, record, collector, result, tracer
+                )
+                # Drain per record (not per pass) so each emit can be
+                # attributed to the input record that caused it — derived-feed
+                # records continue the input's trace under its process span.
+                self._send_emits(collector.drain(), ctx, result)
             if fetched.records:
                 budget -= len(fetched.records)
             instance.positions[tp] = max(
                 instance.positions[tp], fetched.next_offset
             )
-        emits = collector.drain()
+        self._maybe_window(instance, result)
+        if instance.records_since_checkpoint >= self.config.checkpoint_interval:
+            self._checkpoint_task(instance)
+
+    def _send_emits(
+        self,
+        emits: list[Emit],
+        ctx: TraceContext | None,
+        result: PollResult,
+    ) -> None:
         for emit in emits:
+            headers = emit.headers
+            if ctx is not None:
+                headers = {**(headers or {}), TRACE_HEADER: ctx}
             ack = self.producer.send(
                 emit.topic,
                 emit.value,
                 key=emit.key,
                 partition=emit.partition,
                 timestamp=emit.timestamp,
-                headers=emit.headers,
+                headers=headers,
             )
             if ack is not None:
                 result.latency += ack.latency
         result.records_emitted += len(emits)
         self.records_emitted += len(emits)
-        self._maybe_window(instance, result)
-        if instance.records_since_checkpoint >= self.config.checkpoint_interval:
-            self._checkpoint_task(instance)
 
     def _process_record(
         self,
@@ -290,10 +316,30 @@ class JobRunner:
         record: ConsumerRecord,
         collector: MessageCollector,
         result: PollResult,
-    ) -> None:
+        tracer: Tracer | None = None,
+    ) -> TraceContext | None:
+        """Run the task on one record; returns the trace context its emits
+        should carry (child of the ``job.process`` span), or ``None``."""
+        span = None
+        if tracer is not None and record.headers:
+            parent = record.headers.get(TRACE_HEADER)
+            if parent is not None:
+                span = tracer.open_span(
+                    "job.process",
+                    parent,
+                    start=self.clock.now(),
+                    job=self.config.name,
+                    task=instance.task_id,
+                    topic=record.topic,
+                    partition=record.partition,
+                    offset=record.offset,
+                )
         try:
             instance.task.process(record, collector)
         except Exception as exc:
+            if span is not None:
+                span.attrs["error"] = type(exc).__name__
+                tracer.close(span)
             raise TaskFailedError(
                 f"job {self.config.name!r} task {instance.task_id} failed on "
                 f"{record.topic}-{record.partition}@{record.offset}: {exc}"
@@ -304,7 +350,13 @@ class JobRunner:
         self.records_processed += 1
         age = self.clock.now() - record.timestamp
         if age >= 0:
-            self.metrics.histogram(f"job.{self.config.name}.record_age").observe(age)
+            self.metrics.histogram(self._m_record_age).observe(age)
+        if span is not None:
+            # CPU cost is charged to the pass latency, not the clock yet;
+            # the span still records it so stage breakdowns see task time.
+            tracer.close(span, end=span.start + self.cpu_cost)
+            return span.context()
+        return None
 
     def _maybe_window(self, instance: _TaskInstance, result: PollResult) -> None:
         if self.config.window_interval is None:
@@ -317,19 +369,8 @@ class JobRunner:
             instance.last_window_at = now
             collector = MessageCollector()
             window(collector)
-            for emit in collector.drain():
-                ack = self.producer.send(
-                    emit.topic,
-                    emit.value,
-                    key=emit.key,
-                    partition=emit.partition,
-                    timestamp=emit.timestamp,
-                    headers=emit.headers,
-                )
-                if ack is not None:
-                    result.latency += ack.latency
-                result.records_emitted += 1
-                self.records_emitted += 1
+            # Window emits aggregate many inputs; they start fresh traces.
+            self._send_emits(collector.drain(), None, result)
 
     def _checkpoint_task(self, instance: _TaskInstance) -> None:
         self.checkpoints.commit(

@@ -29,9 +29,24 @@ from typing import Literal
 from repro.common.clock import Clock, SimClock
 from repro.common.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.common.errors import ConfigError
-from repro.common.metrics import MetricsRegistry
+from repro.common.metrics import MetricsRegistry, metric_name
 
 EvictionPolicy = Literal["append_order", "lru"]
+
+# Metric names precomputed once (layer.component.metric convention).
+_M_BYTES_WRITTEN = metric_name("storage", "pagecache", "bytes_written")
+_M_BYTES_FLUSHED = metric_name("storage", "pagecache", "bytes_flushed")
+_M_BACKGROUND_DISK_SECONDS = metric_name(
+    "storage", "pagecache", "background_disk_seconds"
+)
+_M_HITS = metric_name("storage", "pagecache", "hits")
+_M_MISSES = metric_name("storage", "pagecache", "misses")
+_M_BYTES_READ_DISK = metric_name("storage", "pagecache", "bytes_read_disk")
+_M_BYTES_READ = metric_name("storage", "pagecache", "bytes_read")
+_M_BYTES_INSTALLED = metric_name("storage", "pagecache", "bytes_installed")
+_M_BYTES_PREFETCHED = metric_name("storage", "pagecache", "bytes_prefetched")
+_M_FORCED_FLUSHES = metric_name("storage", "pagecache", "forced_flushes")
+_M_EVICTIONS = metric_name("storage", "pagecache", "evictions")
 
 
 class _Page:
@@ -113,7 +128,7 @@ class PageCache:
             self.clock.schedule(self.flush_timeout, self._flush_pages, keys)
         elif self.flush_timeout == 0:
             self._flush_pages([(file_id, p) for p in touched])
-        self.metrics.counter("pagecache.bytes_written").increment(nbytes)
+        self.metrics.counter(_M_BYTES_WRITTEN).increment(nbytes)
         return self.cost_model.ram_write(nbytes)
 
     def write_batch(
@@ -168,7 +183,7 @@ class PageCache:
             self.clock.schedule(self.flush_timeout, self._flush_pages, keys)
         elif self.flush_timeout == 0:
             self._flush_pages([(file_id, p) for p in touched])
-        self.metrics.counter("pagecache.bytes_written").increment(nbytes)
+        self.metrics.counter(_M_BYTES_WRITTEN).increment(nbytes)
         return latency
 
     def _flush_pages(self, keys: list[tuple[str, int]]) -> None:
@@ -181,8 +196,8 @@ class PageCache:
                 flushed += 1
         if flushed:
             nbytes = flushed * self.page_size
-            self.metrics.counter("pagecache.bytes_flushed").increment(nbytes)
-            self.metrics.counter("pagecache.background_disk_seconds").increment(
+            self.metrics.counter(_M_BYTES_FLUSHED).increment(nbytes)
+            self.metrics.counter(_M_BACKGROUND_DISK_SECONDS).increment(
                 self.cost_model.disk_sequential_write(nbytes)
             )
 
@@ -229,7 +244,7 @@ class PageCache:
 
         latency = hits * self.cost_model.ram_read(self.page_size)
         if hits:
-            self.metrics.counter("pagecache.hits").increment(hits)
+            self.metrics.counter(_M_HITS).increment(hits)
         for first, length in miss_runs:
             run_bytes = length * self.page_size
             cost = self.cost_model.disk_sequential_read(run_bytes)
@@ -238,11 +253,11 @@ class PageCache:
             if not (sequential and first == pages[0]):
                 cost += self.cost_model.disk_seek_time
             latency += cost
-            self.metrics.counter("pagecache.misses").increment(length)
-            self.metrics.counter("pagecache.bytes_read_disk").increment(run_bytes)
+            self.metrics.counter(_M_MISSES).increment(length)
+            self.metrics.counter(_M_BYTES_READ_DISK).increment(run_bytes)
         if miss_runs:
             self._prefetch(file_id, pages[-1] + 1, now)
-        self.metrics.counter("pagecache.bytes_read").increment(nbytes)
+        self.metrics.counter(_M_BYTES_READ).increment(nbytes)
         return latency
 
     def _insert_clean(self, file_id: str, page_no: int, now: float) -> None:
@@ -268,7 +283,7 @@ class PageCache:
                 self._pages[key] = _Page(file_id, page_no, dirty=False, now=now)
                 inserted += 1
         if inserted:
-            self.metrics.counter("pagecache.bytes_installed").increment(
+            self.metrics.counter(_M_BYTES_INSTALLED).increment(
                 inserted * self.page_size
             )
             self._evict_to_capacity()
@@ -284,8 +299,8 @@ class PageCache:
                 loaded += 1
         if loaded:
             nbytes = loaded * self.page_size
-            self.metrics.counter("pagecache.bytes_prefetched").increment(nbytes)
-            self.metrics.counter("pagecache.background_disk_seconds").increment(
+            self.metrics.counter(_M_BYTES_PREFETCHED).increment(nbytes)
+            self.metrics.counter(_M_BACKGROUND_DISK_SECONDS).increment(
                 self.cost_model.disk_sequential_read(nbytes)
             )
             self._evict_to_capacity()
@@ -314,12 +329,12 @@ class PageCache:
             if victim is None:
                 return False
             self._pages[victim].dirty = False
-            self.metrics.counter("pagecache.forced_flushes").increment()
-            self.metrics.counter("pagecache.background_disk_seconds").increment(
+            self.metrics.counter(_M_FORCED_FLUSHES).increment()
+            self.metrics.counter(_M_BACKGROUND_DISK_SECONDS).increment(
                 self.cost_model.disk_sequential_write(self.page_size)
             )
         del self._pages[victim]
-        self.metrics.counter("pagecache.evictions").increment()
+        self.metrics.counter(_M_EVICTIONS).increment()
         return True
 
     def _pick_victim(self, require_clean: bool) -> tuple[str, int] | None:

@@ -19,10 +19,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.common.clock import Clock
-from repro.common.metrics import MetricsRegistry
+from repro.common.metrics import MetricsRegistry, metric_name
 from repro.storage.segment import LogSegment
 from repro.storage.tiered.manifest import ArchivedSegment, TierManifest
 from repro.storage.tiered.objectstore import ObjectStore
+
+# Metric names precomputed once (layer.component.metric convention).
+_M_SEGMENTS_ARCHIVED = metric_name("storage", "tiered", "segments_archived")
+_M_BYTES_ARCHIVED = metric_name("storage", "tiered", "bytes_archived")
 
 
 @dataclass
@@ -82,8 +86,8 @@ class SegmentArchiver:
             archived_at=self.clock.now(),
         )
         self.manifest.add(entry)
-        self.metrics.counter("tiered.segments_archived").increment()
-        self.metrics.counter("tiered.bytes_archived").increment(
+        self.metrics.counter(_M_SEGMENTS_ARCHIVED).increment()
+        self.metrics.counter(_M_BYTES_ARCHIVED).increment(
             segment.size_bytes
         )
         return ArchiveResult(

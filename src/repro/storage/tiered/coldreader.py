@@ -27,12 +27,20 @@ from itertools import accumulate
 from repro.common.clock import Clock
 from repro.common.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.common.errors import OffsetOutOfRangeError
-from repro.common.metrics import MetricsRegistry
+from repro.common.metrics import MetricsRegistry, metric_name
 from repro.common.records import StoredMessage
 from repro.storage.log import ReadResult
 from repro.storage.pagecache import PageCache
 from repro.storage.tiered.manifest import ArchivedSegment, TierManifest
 from repro.storage.tiered.objectstore import ObjectStore
+
+# Metric names precomputed once (layer.component.metric convention).
+_M_COLD_HITS = metric_name("storage", "tiered", "cold_hits")
+_M_COLD_FETCHES = metric_name("storage", "tiered", "cold_fetches")
+_M_BYTES_HYDRATED = metric_name("storage", "tiered", "bytes_hydrated")
+_M_HYDRATION_LATENCY = metric_name("storage", "tiered", "hydration_latency")
+_M_HYDRATION_EVICTIONS = metric_name("storage", "tiered", "hydration_evictions")
+_M_COLD_RECORDS_READ = metric_name("storage", "tiered", "cold_records_read")
 
 #: Cold page-cache file ids start with "!" so they sort *before* every hot
 #: segment file: the append-order ("anti-caching") eviction policy evicts the
@@ -91,10 +99,10 @@ class ColdReader:
         if cached is not None:
             self._hydrated.move_to_end(entry.object_key)
             self.hits += 1
-            self.metrics.counter("tiered.cold_hits").increment()
+            self.metrics.counter(_M_COLD_HITS).increment()
             return cached, 0.0
         self.misses += 1
-        self.metrics.counter("tiered.cold_fetches").increment()
+        self.metrics.counter(_M_COLD_FETCHES).increment()
         got = self.store.get(entry.object_key)
         hydrated = _HydratedSegment(got.records, entry.size_bytes)
         self._hydrated[entry.object_key] = hydrated
@@ -104,8 +112,8 @@ class ColdReader:
                 self._file_id(entry.object_key), 0, entry.size_bytes
             )
         self._evict_to_cap()
-        self.metrics.counter("tiered.bytes_hydrated").increment(entry.size_bytes)
-        self.metrics.histogram("tiered.hydration_latency").observe(got.latency)
+        self.metrics.counter(_M_BYTES_HYDRATED).increment(entry.size_bytes)
+        self.metrics.histogram(_M_HYDRATION_LATENCY).observe(got.latency)
         return hydrated, got.latency
 
     def _evict_to_cap(self) -> None:
@@ -117,7 +125,7 @@ class ColdReader:
             self._hydrated_bytes -= victim.size_bytes
             if self.page_cache is not None:
                 self.page_cache.forget_file(self._file_id(key))
-            self.metrics.counter("tiered.hydration_evictions").increment()
+            self.metrics.counter(_M_HYDRATION_EVICTIONS).increment()
 
     # -- read path ------------------------------------------------------------------
 
@@ -162,7 +170,7 @@ class ColdReader:
                 )
                 collected.extend(hydrated.records[idx:keep])
                 cursor = hydrated.offsets[keep - 1] + 1
-                self.metrics.counter("tiered.cold_records_read").increment(
+                self.metrics.counter(_M_COLD_RECORDS_READ).increment(
                     keep - idx
                 )
             if keep < stop or byte_budget <= 0:

@@ -13,13 +13,17 @@ from __future__ import annotations
 
 from repro.common.clock import Clock
 from repro.common.errors import OffsetOutOfRangeError
-from repro.common.metrics import MetricsRegistry
+from repro.common.metrics import MetricsRegistry, metric_name
 from repro.storage.log import PartitionLog, ReadResult
 from repro.storage.tiered.archiver import SegmentArchiver
 from repro.storage.tiered.coldreader import ColdReader
 from repro.storage.tiered.config import TieredConfig
 from repro.storage.tiered.manifest import TierManifest
 from repro.storage.tiered.objectstore import ObjectStore
+
+# Metric names precomputed once (layer.component.metric convention).
+_M_COLD_READS = metric_name("storage", "tiered", "cold_reads")
+_M_COLD_READ_LATENCY = metric_name("storage", "tiered", "cold_read_latency")
 
 
 class ColdTier:
@@ -94,8 +98,8 @@ class ColdTier:
         if not self.covers(offset):
             return self.log.read(offset, max_messages, max_bytes)
         cold = self.reader.read(offset, max_messages, max_bytes)
-        self.metrics.counter("tiered.cold_reads").increment()
-        self.metrics.histogram("tiered.cold_read_latency").observe(cold.latency)
+        self.metrics.counter(_M_COLD_READS).increment()
+        self.metrics.histogram(_M_COLD_READ_LATENCY).observe(cold.latency)
         messages = cold.messages
         latency = cold.latency
         next_offset = cold.next_offset

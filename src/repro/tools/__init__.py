@@ -2,6 +2,7 @@
 
 from repro.tools.admin import AdminClient, GroupLag, HealthReport, PartitionInfo
 from repro.tools.metrics_feed import METRICS_FEED, MetricsPublisher
+from repro.tools.tracequery import SpanNode, TraceQuery, render_timeline
 
 __all__ = [
     "AdminClient",
@@ -10,4 +11,7 @@ __all__ = [
     "HealthReport",
     "MetricsPublisher",
     "METRICS_FEED",
+    "TraceQuery",
+    "SpanNode",
+    "render_timeline",
 ]

@@ -15,11 +15,14 @@ under-replicated partitions, and lagging consumers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import TopicNotFoundError
 from repro.common.records import TopicPartition
 from repro.messaging.cluster import MessagingCluster
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.trace import Tracer
 
 
 @dataclass
@@ -190,6 +193,40 @@ class AdminClient:
                 if entry.lag > max_group_lag:
                     report.lagging_groups.append(entry)
         return report
+
+    # -- tracing ------------------------------------------------------------------------------------
+
+    def stage_latency_report(
+        self, tracer: "Tracer | None" = None
+    ) -> dict[str, dict[str, float]]:
+        """Per-stage latency percentiles from the tracing layer's spans.
+
+        Groups the tracer's retained spans by stage name and reports
+        count/p50/p99 simulated seconds for each — the per-record complement
+        to the aggregate ``*_latency`` histograms in the metrics registry.
+        Uses the installed tracer when none is passed; returns ``{}`` when
+        tracing is off or nothing was retained.
+        """
+        from repro.common.metrics import Histogram
+        from repro.observability.trace import current_tracer
+
+        tracer = tracer if tracer is not None else current_tracer()
+        if tracer is None:
+            return {}
+        by_stage: dict[str, Histogram] = {}
+        for span in tracer.spans():
+            histogram = by_stage.get(span.name)
+            if histogram is None:
+                histogram = by_stage[span.name] = Histogram(span.name)
+            histogram.observe(span.duration)
+        return {
+            name: {
+                "count": float(histogram.count),
+                "p50": histogram.percentile(50),
+                "p99": histogram.percentile(99),
+            }
+            for name, histogram in sorted(by_stage.items())
+        }
 
     # -- rendering ---------------------------------------------------------------------------------
 

@@ -1,0 +1,147 @@
+"""Trace reconstruction and rendering (§5.1 "operational analysis").
+
+The tracer (:mod:`repro.observability.trace`) collects flat spans; this
+module turns them back into what an engineer asks for: *what happened to
+this record?*  :class:`TraceQuery` groups a tracer's span buffer by trace,
+rebuilds each trace's parent/child tree, and answers structural questions
+(roots, children, stage names, connectivity); :func:`render_timeline` draws
+one trace as an indented timeline for the terminal.
+
+Everything here is read-only over ``Tracer.spans()`` — querying a trace
+never mutates the tracer, and a query sees whatever the ring buffer
+currently retains (a trace whose early spans were evicted renders as a
+forest with more than one root).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.observability.trace import Span, Tracer
+
+__all__ = ["SpanNode", "TraceQuery", "render_timeline"]
+
+
+@dataclass
+class SpanNode:
+    """One span plus its resolved children, ordered by (start, span id)."""
+
+    span: Span
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.span.name
+
+    def walk(self) -> list["SpanNode"]:
+        """This node and every descendant, depth-first."""
+        out = [self]
+        for child in self.children:
+            out.extend(child.walk())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SpanNode({self.span.name}, children={len(self.children)})"
+
+
+class TraceQuery:
+    """Query API over one tracer's retained spans."""
+
+    def __init__(self, tracer: Tracer) -> None:
+        self.tracer = tracer
+
+    # -- trace inventory ----------------------------------------------------------
+
+    def trace_ids(self) -> list[str]:
+        """Traces with at least one retained span, by first appearance."""
+        return self.tracer.trace_ids()
+
+    def spans(self, trace_id: str) -> list[Span]:
+        """Retained spans of ``trace_id``, ordered by (start, span id)."""
+        return self.tracer.spans_for(trace_id)
+
+    # -- tree reconstruction ------------------------------------------------------
+
+    def tree(self, trace_id: str) -> list[SpanNode]:
+        """Rebuild the span tree of ``trace_id``; returns its roots.
+
+        A fully retained trace has exactly one root (the ``produce.send``
+        that started it).  Spans whose parent was evicted from the ring
+        buffer — or sampled before the buffer wrapped — surface as extra
+        roots rather than being dropped, so partial traces stay visible.
+        """
+        spans = self.spans(trace_id)
+        nodes = {span.span_id: SpanNode(span) for span in spans}
+        roots: list[SpanNode] = []
+        for span in spans:
+            node = nodes[span.span_id]
+            parent = (
+                nodes.get(span.parent_id) if span.parent_id is not None else None
+            )
+            if parent is None:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        for node in nodes.values():
+            node.children.sort(key=lambda n: (n.span.start, n.span.span_id))
+        return roots
+
+    def is_connected(self, trace_id: str) -> bool:
+        """True when every retained span hangs off one single root."""
+        return len(self.tree(trace_id)) == 1
+
+    def stages(self, trace_id: str) -> list[str]:
+        """Span names of the trace in (start, span id) order."""
+        return [span.name for span in self.spans(trace_id)]
+
+    def find(self, trace_id: str, name: str) -> list[Span]:
+        """All spans of the trace with stage name ``name``."""
+        return [span for span in self.spans(trace_id) if span.name == name]
+
+    def duration(self, trace_id: str) -> float:
+        """Simulated seconds from the first span start to the last end."""
+        spans = self.spans(trace_id)
+        if not spans:
+            return 0.0
+        return max(s.end for s in spans) - min(s.start for s in spans)
+
+
+def render_timeline(trace_id: str, tracer: Tracer) -> str:
+    """Render one trace as an indented, time-annotated tree::
+
+        trace 1d8a44f0c3e2 (7 spans, 0.004521s)
+        └─ produce.send [0.000000s +0.001200s] topic=clicks partition=0
+           ├─ broker.append [0.000000s +0.000800s] broker=0 offset=0
+           ...
+
+    Times are the simulated clock: absolute start (relative to the trace's
+    first span) and ``+duration``.  Attributes render as ``key=value`` pairs
+    in insertion order.
+    """
+    query = TraceQuery(tracer)
+    spans = query.spans(trace_id)
+    if not spans:
+        return f"trace {trace_id} (no retained spans)"
+    origin = min(s.start for s in spans)
+    lines = [
+        f"trace {trace_id} ({len(spans)} spans, "
+        f"{query.duration(trace_id):.6f}s)"
+    ]
+
+    def draw(node: SpanNode, prefix: str, last: bool) -> None:
+        span = node.span
+        attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+        connector = "└─" if last else "├─"
+        lines.append(
+            f"{prefix}{connector} {span.name} "
+            f"[{span.start - origin:.6f}s +{span.duration:.6f}s]"
+            + (f" {attrs}" if attrs else "")
+        )
+        child_prefix = prefix + ("   " if last else "│  ")
+        for i, child in enumerate(node.children):
+            draw(child, child_prefix, i == len(node.children) - 1)
+
+    roots = query.tree(trace_id)
+    for i, root in enumerate(roots):
+        draw(root, "", i == len(roots) - 1)
+    return "\n".join(lines)

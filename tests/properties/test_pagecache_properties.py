@@ -88,7 +88,7 @@ class TestInvariants:
     @settings(max_examples=30, deadline=None)
     def test_counters_are_consistent(self, op_list):
         cache, _latency = run_ops(op_list)
-        hits = cache.metrics.counter("pagecache.hits").value
-        misses = cache.metrics.counter("pagecache.misses").value
+        hits = cache.metrics.counter("storage.pagecache.hits").value
+        misses = cache.metrics.counter("storage.pagecache.misses").value
         requested_pages = sum(b for op, _a, b in op_list if op == "read")
         assert hits + misses == requested_pages

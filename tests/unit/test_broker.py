@@ -88,8 +88,8 @@ class TestRequestPaths:
         _clock, broker = leader_broker()
         broker.produce(TP, entries(5))
         broker.fetch(TP, 0)
-        assert broker.metrics.counter("broker.messages_in").value == 5
-        assert broker.metrics.counter("broker.messages_out").value == 5
+        assert broker.metrics.counter("messaging.broker.messages_in").value == 5
+        assert broker.metrics.counter("messaging.broker.messages_out").value == 5
 
 
 class TestMaintenance:

@@ -1,0 +1,129 @@
+"""Metric naming convention: every registered name is ``layer.component.metric``.
+
+One helper (:func:`repro.common.metrics.metric_name`) builds every
+instrument name in the library, so the convention is enforced at the
+single choke point; this test drives a full deployment — produce, fetch,
+replication, a job, the page cache, and the tiered cold path — then
+asserts the whole registry passes :func:`is_conventional`.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.metrics import (
+    METRIC_LAYERS,
+    MetricsRegistry,
+    is_conventional,
+    metric_name,
+)
+from repro.common.records import TopicPartition
+from repro.core.liquid import Liquid
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.producer import Producer
+from repro.messaging.topic import LogConfig, RetentionConfig, TopicConfig
+from repro.processing.job import JobConfig
+from repro.storage.tiered.config import TieredConfig
+
+
+class TestMetricNameHelper:
+    def test_builds_dotted_name(self):
+        assert metric_name("messaging", "broker", "messages_in") == (
+            "messaging.broker.messages_in"
+        )
+        assert metric_name("processing", "job", "enrich", "processed") == (
+            "processing.job.enrich.processed"
+        )
+
+    def test_rejects_unknown_layer(self):
+        with pytest.raises(ConfigError):
+            metric_name("networking", "broker", "messages_in")
+
+    def test_rejects_empty_parts(self):
+        with pytest.raises(ConfigError):
+            metric_name("messaging", "broker")
+        with pytest.raises(ConfigError):
+            metric_name("messaging", "", "x")
+
+    def test_is_conventional(self):
+        assert is_conventional("messaging.broker.messages_in")
+        assert is_conventional("storage.pagecache.hits")
+        assert not is_conventional("messages_in")  # no layer prefix
+        assert not is_conventional("messaging.broker")  # too few segments
+        assert not is_conventional("unknown.broker.metric")
+
+    def test_layers_are_the_documented_set(self):
+        assert METRIC_LAYERS == (
+            "messaging",
+            "storage",
+            "processing",
+            "core",
+            "tools",
+        )
+
+
+class _PassThrough:
+    def process(self, record, collector):
+        collector.send("derived", record.value, key=record.key)
+
+
+def _exercise_stack() -> MetricsRegistry:
+    """Drive every metric-registering subsystem once; return the registry."""
+    liquid = Liquid(num_brokers=3)
+    liquid.create_feed("source", partitions=1)
+    liquid.submit_job(
+        JobConfig(name="enrich", inputs=["source"], task_factory=_PassThrough),
+        outputs=["derived"],
+    )
+    producer = liquid.producer()
+    for i in range(5):
+        producer.send("source", {"i": i}, key=f"k{i}")
+    liquid.cluster.run_until_replicated()
+    liquid.process_available()
+    consumer = liquid.consumer()
+    consumer.assign([TopicPartition("derived", 0)])
+    consumer.poll()
+    return liquid.cluster.metrics
+
+
+def _exercise_tiered() -> MetricsRegistry:
+    """Archive sealed segments cold and read them back."""
+    cluster = MessagingCluster(num_brokers=1, maintenance_interval=1.0)
+    cluster.create_topic(
+        TopicConfig(
+            name="t",
+            num_partitions=1,
+            replication_factor=1,
+            retention=RetentionConfig(retention_seconds=5.0),
+            log=LogConfig(segment_max_messages=5),
+            tiered=TieredConfig(),
+        )
+    )
+    producer = Producer(cluster)
+    for i in range(40):
+        producer.send("t", {"i": i})
+    cluster.tick(60.0)
+    cluster.fetch("t", 0, 0, max_messages=10)
+    return cluster.metrics
+
+
+class TestRegistryConvention:
+    def test_full_stack_registers_only_conventional_names(self):
+        registry = _exercise_stack()
+        names = registry.names()
+        assert names, "the deployment registered no metrics at all"
+        offenders = [n for n in names if not is_conventional(n)]
+        assert offenders == []
+
+    def test_tiered_cold_path_names_are_conventional(self):
+        registry = _exercise_tiered()
+        names = registry.names()
+        assert any(n.startswith("storage.tiered.") for n in names)
+        offenders = [n for n in names if not is_conventional(n)]
+        assert offenders == []
+
+    def test_expected_spread_of_layers(self):
+        names = _exercise_stack().names()
+        assert any(n.startswith("messaging.broker.") for n in names)
+        assert any(n.startswith("messaging.cluster.") for n in names)
+        assert any(n.startswith("storage.pagecache.") for n in names)
+        assert any(n.startswith("processing.job.enrich.") for n in names)

@@ -27,7 +27,7 @@ class TestSnapshot:
         records = publisher.snapshot()
         names = {r["metric"] for r in records}
         assert "cluster.brokers" in names
-        assert any(name.startswith("broker.") for name in names)
+        assert any(name.startswith("messaging.broker.") for name in names)
         assert all("value" in r and "timestamp" in r for r in records)
 
     def test_group_lag_included(self):
@@ -74,7 +74,7 @@ class TestPublishing:
         result = cluster.fetch(METRICS_FEED, 0, 0, max_messages=10_000)
         in_rates = [
             r.value for r in result.records
-            if r.value["metric"] == "cluster.messages_in"
+            if r.value["metric"] == "messaging.cluster.messages_in"
         ]
         assert in_rates and in_rates[0]["value"] >= 20
 

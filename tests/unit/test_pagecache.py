@@ -86,14 +86,14 @@ class TestRead:
         cache.read("f", 0, PAGE)  # miss; prefetches pages 1-4
         latency = cache.read("f", PAGE, PAGE)
         assert latency == pytest.approx(cache.cost_model.ram_read(PAGE))
-        assert cache.metrics.counter("pagecache.bytes_prefetched").value == 4 * PAGE
+        assert cache.metrics.counter("storage.pagecache.bytes_prefetched").value == 4 * PAGE
 
     def test_hit_miss_counters(self):
         _clock, cache = make_cache(prefetch_pages=0)
         cache.write("f", 0, PAGE)
         cache.read("f", 0, 2 * PAGE)
-        assert cache.metrics.counter("pagecache.hits").value == 1
-        assert cache.metrics.counter("pagecache.misses").value == 1
+        assert cache.metrics.counter("storage.pagecache.hits").value == 1
+        assert cache.metrics.counter("storage.pagecache.misses").value == 1
 
 
 class TestEviction:
@@ -127,7 +127,7 @@ class TestEviction:
         _clock, cache = make_cache(capacity_bytes=2 * PAGE, flush_timeout=100.0)
         cache.write("f", 0, 5 * PAGE)  # all dirty, over capacity
         assert cache.resident_bytes() <= 2 * PAGE
-        assert cache.metrics.counter("pagecache.forced_flushes").value > 0
+        assert cache.metrics.counter("storage.pagecache.forced_flushes").value > 0
 
     def test_unknown_policy_rejected(self):
         with pytest.raises(ConfigError):
