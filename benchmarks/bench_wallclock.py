@@ -208,6 +208,115 @@ def bench_pipeline(messages: int, repeats: int) -> dict:
     }
 
 
+def _json_ish(i: int) -> dict:
+    """A typical tracking-event payload: repetitive field names + enum-ish
+    values, the shape the wire-compression target is calibrated against."""
+    return {
+        "event_type": "page_view" if i % 3 else "click",
+        "member_id": f"member-{i % 500:06d}",
+        "session_id": f"session-{i % 50:08d}",
+        "page_key": f"/feed/updates/{i % 20}",
+        "user_agent": "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36",
+        "locale": "en_US",
+        "properties": {"position": i % 10, "channel": "web", "treatment": "A"},
+    }
+
+
+def _compressed_run(
+    messages: int, compression: str, prefetch: bool
+) -> tuple[float, float, float]:
+    """One produce -> replicate -> consume pass; returns
+    (wall seconds, simulated seconds, bytes on the simulated wire)."""
+    cluster = MessagingCluster(num_brokers=3, clock=SimClock())
+    cluster.create_topic("t", num_partitions=1, replication_factor=3)
+    producer = Producer(
+        cluster, acks=ACKS_LEADER, linger_messages=LINGER,
+        compression=compression,
+    )
+    consumer = Consumer(
+        cluster, max_poll_messages=500, prefetch=prefetch,
+        auto_offset_reset="earliest",
+    )
+    consumer.assign([TopicPartition("t", 0)])
+    start = time.perf_counter()
+    sim = 0.0
+    for i in range(messages):
+        ack = producer.send("t", _json_ish(i), key=f"member-{i % 500:06d}")
+        if ack is not None:
+            sim += ack.latency
+    for ack in producer.flush():
+        sim += ack.latency
+    cluster.run_until_replicated()
+    consumed = 0
+    while consumed < messages:
+        records = consumer.poll()
+        if not records:
+            cluster.tick(0.0)
+            continue
+        consumed += len(records)
+        sim += consumer.last_poll_latency
+        # Simulated application processing between polls: this is the time a
+        # prefetched fetch overlaps.
+        cluster.clock.advance(1e-4)
+    wire = cluster.metrics.counter("messaging.cluster.bytes_on_wire").value
+    return time.perf_counter() - start, sim, wire
+
+
+def bench_compress_pipeline(messages: int, repeats: int) -> dict:
+    """End-to-end pipeline, compressed vs. uncompressed wire format.
+
+    The headline number is ``wire_reduction``: simulated bytes-on-wire of
+    the ``none`` codec over ``zlib:6`` for JSON-ish payloads (target >=2x).
+    ``msgs_per_s`` is the compressed arm's wall-clock throughput so the
+    baseline guard also catches the compressed path slowing down.
+    """
+    best_none, best_zlib = float("inf"), float("inf")
+    wire_none = wire_zlib = 0.0
+    sim_zlib = 0.0
+    for _ in range(repeats):
+        wall, _sim, wire_none = _compressed_run(messages, "none", False)
+        best_none = min(best_none, wall)
+        wall, sim_zlib, wire_zlib = _compressed_run(messages, "zlib:6", False)
+        best_zlib = min(best_zlib, wall)
+    return {
+        "messages": messages,
+        "none_s": round(best_none, 6),
+        "zlib_s": round(best_zlib, 6),
+        "none_msgs_per_s": round(messages / best_none),
+        "msgs_per_s": round(messages / best_zlib),
+        "bytes_on_wire_none": wire_none,
+        "bytes_on_wire_zlib": wire_zlib,
+        "wire_reduction": round(wire_none / max(wire_zlib, 1.0), 2),
+        "simulated_s": sim_zlib,
+    }
+
+
+def bench_fetch_prefetch(messages: int, repeats: int) -> dict:
+    """Consumer drain with and without prefetch sessions.
+
+    Both arms consume the identical compressed log; the prefetch arm issues
+    fetch N+1 while the application 'processes' poll N (a simulated-clock
+    advance between polls), so its simulated consume latency drops while
+    delivering the same records.
+    """
+    best_sync, best_pre = float("inf"), float("inf")
+    sim_sync = sim_pre = 0.0
+    for _ in range(repeats):
+        wall, sim_sync, _w = _compressed_run(messages, "zlib:6", False)
+        best_sync = min(best_sync, wall)
+        wall, sim_pre, _w = _compressed_run(messages, "zlib:6", True)
+        best_pre = min(best_pre, wall)
+    return {
+        "messages": messages,
+        "sync_s": round(best_sync, 6),
+        "prefetch_s": round(best_pre, 6),
+        "msgs_per_s": round(messages / best_pre),
+        "simulated_sync_s": sim_sync,
+        "simulated_prefetch_s": sim_pre,
+        "simulated_saving_s": round(sim_sync - sim_pre, 9),
+    }
+
+
 def _compare(messages: int, per_record_s: float, batched_s: float,
              simulated_s: float) -> dict:
     return {
@@ -231,8 +340,13 @@ def run_all(quick: bool) -> dict:
         ("replicate_batch", bench_replicate),
         ("fetch_scan", bench_fetch),
         ("pipeline_e2e", bench_pipeline),
+        ("compress_pipeline", bench_compress_pipeline),
+        ("fetch_prefetch", bench_fetch_prefetch),
     ):
-        count = messages if name != "pipeline_e2e" else max(messages // 5, 2_000)
+        if name in ("pipeline_e2e", "compress_pipeline", "fetch_prefetch"):
+            count = max(messages // 5, 2_000)
+        else:
+            count = messages
         kernels[name] = fn(count, repeats)
         line = f"  {name:18s} " + ", ".join(
             f"{k}={v}" for k, v in kernels[name].items() if k != "messages"
@@ -300,6 +414,11 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless the linger=200 append speedup meets this floor",
     )
     parser.add_argument(
+        "--min-wire-reduction", type=float, default=None,
+        help="fail unless compress_pipeline's bytes-on-wire reduction "
+             "(none vs zlib) meets this floor",
+    )
+    parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
         help="recorded report to compare throughput against "
              "(e.g. the committed BENCH_hotpath.json)",
@@ -318,6 +437,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: append speedup {speedup}x below floor "
             f"{args.min_append_speedup}x"
+        )
+        return 1
+    reduction = report["kernels"]["compress_pipeline"]["wire_reduction"]
+    if (
+        args.min_wire_reduction is not None
+        and reduction < args.min_wire_reduction
+    ):
+        print(
+            f"FAIL: wire reduction {reduction}x below floor "
+            f"{args.min_wire_reduction}x"
         )
         return 1
     if args.baseline is not None:

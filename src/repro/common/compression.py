@@ -1,0 +1,254 @@
+"""Compressed record-batch frames: the wire and storage unit of a batch.
+
+Liquid's cost argument hinges on moving bytes cheaply between feeds (§2.3,
+§5.2): every hop — producer to leader, leader to follower, broker to
+consumer, hot tier to cold store — is charged per byte, so shrinking the
+bytes shrinks the bill.  Kafka's answer, mirrored here, is the *compressed
+record batch*: the producer serializes and compresses one linger batch into
+a single frame, and from then on the frame travels as an **opaque blob**.
+Brokers append and replicate it without re-encoding records; the tiered
+archiver ships it to the object store as-is; only the consumer inflates it
+— lazily, per batch, behind a memoryview so untouched batches stay cold.
+
+A :class:`BatchFrame` carries two byte counts:
+
+* ``payload_bytes`` — the logical (uncompressed) payload size, computed with
+  the same :func:`~repro.common.records.estimate_size` accounting as the
+  uncompressed path, so the ``none`` codec is byte-identical to a build
+  without compression at all;
+* ``wire_bytes`` — what the frame costs on the wire and on disk: the real
+  ``len()`` of the zlib-compressed canonical serialization plus a fixed
+  frame header.
+
+Batch-level metadata that Kafka keeps in the (uncompressed) batch header —
+idempotent producer id/sequence, per-record trace contexts — rides on the
+frame object rather than inside the payload.  The reserved ``__trace``
+header is therefore *excluded* from the canonical serialization, preserving
+the observe-don't-mutate invariant: installing a tracer never changes a
+frame's compressed bytes, so traced and untraced runs stay byte-identical
+even with compression armed.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from typing import Any
+
+from repro.common.errors import ConfigError
+from repro.common.records import TRACE_HEADER, estimate_size
+
+#: Supported codec names.
+CODEC_NONE = "none"
+CODEC_ZLIB = "zlib"
+CODECS = (CODEC_NONE, CODEC_ZLIB)
+
+#: Default zlib level when a bare ``"zlib"`` spec is given.
+DEFAULT_ZLIB_LEVEL = 6
+
+#: Fixed per-frame header overhead charged on the wire and on disk: codec
+#: id, record count, base timestamp, producer id/seq, payload length, crc.
+BATCH_FRAME_HEADER_BYTES = 32
+
+
+def parse_compression(spec: str) -> tuple[str, int]:
+    """Parse a compression spec into ``(codec, level)``.
+
+    Accepted forms: ``"none"``, ``"zlib"`` (level ``6``), ``"zlib:N"`` with
+    ``N`` in 1..9.  Raises :class:`~repro.common.errors.ConfigError` on
+    anything else.
+    """
+    if not isinstance(spec, str):
+        raise ConfigError(f"compression must be a string, got {spec!r}")
+    codec, _, level_part = spec.partition(":")
+    if codec == CODEC_NONE:
+        if level_part:
+            raise ConfigError(f"codec 'none' takes no level, got {spec!r}")
+        return CODEC_NONE, 0
+    if codec == CODEC_ZLIB:
+        if not level_part:
+            return CODEC_ZLIB, DEFAULT_ZLIB_LEVEL
+        try:
+            level = int(level_part)
+        except ValueError:
+            raise ConfigError(f"bad compression level in {spec!r}") from None
+        if not 1 <= level <= 9:
+            raise ConfigError(f"zlib level must be 1..9, got {level}")
+        return CODEC_ZLIB, level
+    raise ConfigError(
+        f"unknown compression codec {codec!r}; expected one of {CODECS}"
+    )
+
+
+def encode_payload(payload: bytes, codec: str, level: int) -> bytes:
+    """Compress raw payload bytes under ``codec`` (identity for ``none``)."""
+    if codec == CODEC_NONE:
+        return payload
+    if codec == CODEC_ZLIB:
+        return zlib.compress(payload, level)
+    raise ConfigError(f"unknown compression codec {codec!r}")
+
+
+def decode_payload(payload: bytes | memoryview, codec: str) -> bytes:
+    """Inverse of :func:`encode_payload`; accepts a memoryview (zero-copy)."""
+    if codec == CODEC_NONE:
+        return bytes(payload)
+    if codec == CODEC_ZLIB:
+        return zlib.decompress(payload)
+    raise ConfigError(f"unknown compression codec {codec!r}")
+
+
+def _sanitize(
+    entries: list[tuple[Any, Any, float | None, dict[str, Any]]],
+) -> tuple[list[tuple[Any, Any, float | None, dict[str, Any]]], tuple]:
+    """Split entries into a trace-free canonical form plus the contexts.
+
+    Returns ``(clean_entries, trace_contexts)`` where ``trace_contexts[i]``
+    is the i-th record's ``__trace`` header value (or None).  The contexts
+    ride in the frame header — accounting-invisible, like the header itself.
+    """
+    clean = []
+    contexts = []
+    dirty = False
+    for key, value, timestamp, headers in entries:
+        ctx = headers.get(TRACE_HEADER) if headers else None
+        contexts.append(ctx)
+        if ctx is not None:
+            headers = {k: v for k, v in headers.items() if k != TRACE_HEADER}
+            dirty = True
+        clean.append((key, value, timestamp, headers))
+    return clean, tuple(contexts) if dirty else ()
+
+
+class BatchFrame:
+    """One compressed batch: the opaque unit brokers store and replicate.
+
+    ``payload`` is the zlib-compressed canonical serialization of the
+    batch's ``(key, value, timestamp, headers)`` entries (headers minus the
+    reserved ``__trace`` key).  :meth:`entries` inflates it lazily through a
+    memoryview and memoizes the result, so a frame that is never read is
+    never decompressed.
+    """
+
+    __slots__ = (
+        "codec",
+        "level",
+        "count",
+        "payload",
+        "payload_bytes",
+        "wire_bytes",
+        "sizes",
+        "trace_contexts",
+        "producer_id",
+        "producer_seq",
+        "_entries",
+    )
+
+    def __init__(
+        self,
+        codec: str,
+        level: int,
+        count: int,
+        payload: bytes,
+        payload_bytes: int,
+        sizes: tuple[int, ...],
+        trace_contexts: tuple = (),
+    ) -> None:
+        self.codec = codec
+        self.level = level
+        self.count = count
+        self.payload = payload
+        self.payload_bytes = payload_bytes
+        self.wire_bytes = len(payload) + BATCH_FRAME_HEADER_BYTES
+        self.sizes = sizes
+        self.trace_contexts = trace_contexts
+        # Batch-header producer state (Kafka keeps these uncompressed in the
+        # batch header too); set by the producer after sequence allocation.
+        self.producer_id: int | None = None
+        self.producer_seq: int | None = None
+        self._entries: list | None = None
+
+    # -- payload access ------------------------------------------------------
+
+    def entries(self) -> list[tuple[Any, Any, float | None, dict[str, Any]]]:
+        """Inflate the payload (once) and return the canonical entries.
+
+        The decompressor is handed a :class:`memoryview` over the payload so
+        no intermediate copy of the compressed blob is made.
+        """
+        if self._entries is None:
+            raw = decode_payload(memoryview(self.payload), self.codec)
+            self._entries = pickle.loads(raw)
+        return self._entries
+
+    @property
+    def inflated(self) -> bool:
+        return self._entries is not None
+
+    @property
+    def ratio(self) -> float:
+        """Logical payload bytes per wire byte (>1 means compression won)."""
+        if self.wire_bytes <= 0:
+            return 1.0
+        return self.payload_bytes / self.wire_bytes
+
+    def stored_sizes(self) -> list[int]:
+        """Apportion the frame's wire bytes across its records.
+
+        The frame is the physical unit, but the log's byte accounting is
+        per-record; every record receives an equal share (at least one byte)
+        with the remainder on the first record, so the shares are
+        deterministic and sum to at least ``wire_bytes``.
+        """
+        base = max(self.wire_bytes, self.count)
+        per = base // self.count
+        rem = base - per * self.count
+        return [per + 1 if i < rem else per for i in range(self.count)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BatchFrame({self.codec}:{self.level}, n={self.count}, "
+            f"{self.payload_bytes}B -> {self.wire_bytes}B)"
+        )
+
+
+def compress_entries(
+    entries: list[tuple[Any, Any, float | None, dict[str, Any]]],
+    codec: str,
+    level: int,
+) -> BatchFrame | None:
+    """Build a :class:`BatchFrame` for one linger batch.
+
+    Returns ``None`` for the ``none`` codec (the uncompressed path carries
+    no frame at all, keeping it byte-identical to a build without this
+    module) and for payloads the canonical serializer cannot handle — the
+    producer then falls back to sending the batch uncompressed.
+    """
+    if codec == CODEC_NONE or not entries:
+        return None
+    clean, contexts = _sanitize(entries)
+    try:
+        raw = pickle.dumps(clean, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None  # unpicklable payload: fall back to uncompressed
+    sizes = tuple(
+        estimate_size(key) + estimate_size(value) + estimate_size(headers)
+        for key, value, _ts, headers in clean
+    )
+    payload = encode_payload(raw, codec, level)
+    return BatchFrame(
+        codec=codec,
+        level=level,
+        count=len(entries),
+        payload=payload,
+        payload_bytes=sum(sizes),
+        sizes=sizes,
+        trace_contexts=contexts,
+    )
+
+
+def decompress_entries(
+    frame: BatchFrame,
+) -> list[tuple[Any, Any, float | None, dict[str, Any]]]:
+    """Round-trip inverse of :func:`compress_entries` (sans ``__trace``)."""
+    return frame.entries()

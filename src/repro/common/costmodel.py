@@ -44,6 +44,12 @@ class CostModel:
     request_overhead: float = 50e-6       # RPC dispatch, bookkeeping
     cpu_per_message: float = 2e-6         # serialization + routing per message
 
+    # Batch compression (zlib-class deflate on one core).  The producer pays
+    # the compress cost once per linger batch; consumers pay the (much
+    # cheaper) inflate cost lazily, per batch actually read.
+    compress_bandwidth: float = 60e6      # deflate throughput, logical bytes/s
+    decompress_bandwidth: float = 300e6   # inflate throughput, logical bytes/s
+
     # Batch-stack costs (MR/DFS baseline).
     mr_job_startup: float = 10.0          # YARN container negotiation + JVM spin-up
     mr_task_startup: float = 1.0          # per map/reduce task launch
@@ -71,6 +77,8 @@ class CostModel:
             "network_bandwidth",
             "cold_read_bandwidth",
             "cold_write_bandwidth",
+            "compress_bandwidth",
+            "decompress_bandwidth",
         ):
             if getattr(self, name) <= 0:
                 raise ConfigError(f"{name} must be > 0")
@@ -115,6 +123,14 @@ class CostModel:
         """Fixed request overhead plus per-message CPU cost."""
         return self.request_overhead + nmessages * self.cpu_per_message
 
+    def compress(self, nbytes: int) -> float:
+        """CPU cost of deflating ``nbytes`` of logical payload."""
+        return nbytes / self.compress_bandwidth
+
+    def decompress(self, nbytes: int) -> float:
+        """CPU cost of inflating a frame back to ``nbytes`` of payload."""
+        return nbytes / self.decompress_bandwidth
+
     # -- cold tier ------------------------------------------------------------
 
     def cold_fetch(self, nbytes: int) -> float:
@@ -146,6 +162,8 @@ class CostModel:
             network_rtt=self.network_rtt * factor,
             request_overhead=self.request_overhead * factor,
             cpu_per_message=self.cpu_per_message * factor,
+            compress_bandwidth=self.compress_bandwidth / factor,
+            decompress_bandwidth=self.decompress_bandwidth / factor,
             mr_job_startup=self.mr_job_startup * factor,
             mr_task_startup=self.mr_task_startup * factor,
             dfs_open_overhead=self.dfs_open_overhead * factor,
@@ -167,6 +185,8 @@ class CostModel:
             "network_rtt_us": self.network_rtt * 1e6,
             "network_bandwidth_gbps": self.network_bandwidth / 1e9,
             "request_overhead_us": self.request_overhead * 1e6,
+            "compress_mbps": self.compress_bandwidth / 1e6,
+            "decompress_mbps": self.decompress_bandwidth / 1e6,
             "mr_job_startup_s": self.mr_job_startup,
             "dfs_block_size_mb": self.dfs_block_size / (1024 * 1024),
             "cold_fetch_overhead_ms": self.cold_fetch_overhead * 1e3,

@@ -132,6 +132,7 @@ class StoredMessage:
     offset: int
     headers: dict[str, Any] = field(default_factory=dict)
     size: int = 0
+    stored_size: int = 0
 
     def __post_init__(self) -> None:
         if self.size == 0:
@@ -141,6 +142,14 @@ class StoredMessage:
                 + estimate_size(self.headers)
                 + RECORD_FRAMING_BYTES
             )
+        # ``size`` is the record's *logical* payload (what a consumer is
+        # billed for); ``stored_size`` is its *physical* footprint — its
+        # share of the (possibly compressed) batch frame it arrived in.
+        # Segments, the page cache, replication and the cold tier all move
+        # physical bytes, so they charge stored_size; uncompressed records
+        # occupy exactly their logical size.
+        if self.stored_size == 0:
+            self.stored_size = self.size
 
 
 @dataclass(frozen=True, slots=True)

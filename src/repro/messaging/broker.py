@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.common.clock import Clock
+from repro.common.compression import BatchFrame
 from repro.common.costmodel import CostModel
 from repro.common.errors import (
     BrokerUnavailableError,
@@ -40,6 +41,8 @@ _M_FETCH_LATENCY = metric_name("messaging", "broker", "fetch_latency")
 _M_RETENTION_DELETED = metric_name("messaging", "broker", "retention_deleted")
 _M_RETENTION_ARCHIVED = metric_name("messaging", "broker", "retention_archived")
 _M_COMPACTION_REMOVED = metric_name("messaging", "broker", "compaction_removed")
+#: Wire/storage bytes avoided by compressed batches (logical minus wire).
+_M_BYTES_SAVED = metric_name("messaging", "broker", "bytes_saved")
 
 
 class Broker:
@@ -136,15 +139,22 @@ class Broker:
         epoch: int | None = None,
         producer_id: int | None = None,
         producer_seq: int | None = None,
+        frame: BatchFrame | None = None,
     ) -> tuple[ProduceResult, float]:
         """Append a batch on the leader replica; returns (result, latency)."""
         failpoint("broker.produce", broker=self.broker_id, partition=partition)
         self._check_online()
         replica = self.replica(partition)
-        result = replica.append_batch(entries, epoch, producer_id, producer_seq)
+        result = replica.append_batch(
+            entries, epoch, producer_id, producer_seq, frame=frame
+        )
         latency = self.cost_model.request(len(entries)) + result.latency
         self.metrics.counter(_M_MESSAGES_IN).increment(len(entries))
         self.metrics.histogram(_M_PRODUCE_LATENCY).observe(latency)
+        if frame is not None and not result.duplicate:
+            saved = frame.payload_bytes - frame.wire_bytes
+            if saved > 0:
+                self.metrics.counter(_M_BYTES_SAVED).increment(saved)
         return result, latency
 
     def fetch(
@@ -174,18 +184,26 @@ class Broker:
         offset: int,
         follower_id: int,
         max_messages: int = 1000,
-    ) -> tuple[list[StoredMessage], int, int]:
+    ) -> tuple[list[StoredMessage], int, int, list[tuple[int, int, BatchFrame]]]:
         """Follower fetch from this (leader) broker.
 
-        Returns ``(messages, leader_leo, leader_hw)``.  As in Kafka, the
-        fetch *offset itself* tells the leader how far the follower has got:
-        the leader records it and may advance the high watermark.
+        Returns ``(messages, leader_leo, leader_hw, frames)``.  As in Kafka,
+        the fetch *offset itself* tells the leader how far the follower has
+        got: the leader records it and may advance the high watermark.
+        ``frames`` are the compressed-batch registry entries covering the
+        returned run, shipped alongside so the follower stores the same
+        opaque blobs.
         """
         self._check_online()
         replica = self.replica(partition)
         hw = replica.record_follower_position(follower_id, offset)
         result = replica.fetch(offset, max_messages, committed_only=False)
-        return result.messages, replica.log_end_offset, hw
+        frames: list[tuple[int, int, BatchFrame]] = []
+        if result.messages:
+            frames = replica.log.frames_between(
+                result.messages[0].offset, result.messages[-1].offset
+            )
+        return result.messages, replica.log_end_offset, hw, frames
 
     # -- maintenance (driven by the cluster tick) -------------------------------------------
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.common.clock import Clock, SimClock
+from repro.common.compression import BatchFrame
 from repro.common.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.common.errors import (
     BrokerUnavailableError,
@@ -34,7 +35,6 @@ from repro.common.errors import (
 )
 from repro.common.metrics import MetricsRegistry, metric_name
 from repro.common.records import (
-    RECORD_FRAMING_BYTES,
     ConsumerRecord,
     TopicPartition,
     estimate_size,
@@ -45,6 +45,11 @@ from repro.cluster.coordinator import Coordinator
 from repro.storage.log import LogConfig
 from repro.storage.tiered import DfsObjectStore, ObjectStore
 from repro.messaging.broker import Broker
+from repro.messaging.fetchbuffer import (
+    FetchBatch,
+    build_fetch_batches,
+    inflate_all,
+)
 from repro.messaging.offset_manager import OFFSETS_TOPIC, OffsetManager
 from repro.messaging.quotas import QuotaManager
 from repro.messaging.replication import ReplicationManager, ReplicationStats
@@ -66,6 +71,10 @@ _M_PRODUCE_LATENCY = {
     mode: metric_name("messaging", "cluster", "produce_latency", mode)
     for mode in _ACK_MODES
 }
+#: Physical bytes moved over the simulated network: produce ingress,
+#: synchronous + background replication hops, and fetch egress.  Compressed
+#: batches move their wire bytes, so this is the tentpole's target metric.
+_M_WIRE_BYTES = metric_name("messaging", "cluster", "bytes_on_wire")
 
 
 @dataclass
@@ -87,11 +96,17 @@ class FetchResult:
     ``next_offset`` (which is where a sequential reader should continue —
     it can exceed the last delivered record when markers or aborted
     transactional records were skipped).
+
+    ``batches`` is populated by lazy fetches (``fetch(..., lazy=True)``):
+    the response grouped into :class:`~repro.messaging.fetchbuffer.FetchBatch`
+    units, compressed ones still framed; ``records`` is then empty and the
+    decompress CPU is charged by whoever inflates.
     """
 
     records: list[ConsumerRecord]
     latency: float
     next_offset: int
+    batches: list[FetchBatch] | None = None
 
     def __iter__(self):
         yield self.records
@@ -276,12 +291,14 @@ class MessagingCluster:
         producer_id: int | None = None,
         producer_seq: int | None = None,
         client_id: str | None = None,
+        frame: BatchFrame | None = None,
     ) -> ProduceAck:
         """Produce a batch to one partition (low-level; see Producer).
 
         ``client_id`` enables per-application byte-rate quotas (§4.5): a
         client over its produce quota has the throttle delay added to its
-        ack latency.
+        ack latency.  With ``frame`` set the batch travels (and is charged)
+        as the producer's compressed blob.
         """
         tp = TopicPartition(topic, partition)
         self.topic_config(topic)
@@ -292,12 +309,17 @@ class MessagingCluster:
             (k, v, ts if ts is not None else self.clock.now(), h or {})
             for (k, v, ts, h) in entries
         ]
-        ack = self._produce_to(tp, stamped, acks, producer_id, producer_seq)
+        ack = self._produce_to(
+            tp, stamped, acks, producer_id, producer_seq, frame=frame
+        )
         if client_id is not None:
-            batch_bytes = sum(
-                estimate_size(k) + estimate_size(v) + estimate_size(h)
-                for (k, v, _ts, h) in stamped
-            )
+            if frame is not None:
+                batch_bytes = frame.wire_bytes
+            else:
+                batch_bytes = sum(
+                    estimate_size(k) + estimate_size(v) + estimate_size(h)
+                    for (k, v, _ts, h) in stamped
+                )
             throttle = self.quotas.record_produce(client_id, batch_bytes)
             if throttle:
                 ack.latency += throttle
@@ -310,6 +332,7 @@ class MessagingCluster:
         acks: str,
         producer_id: int | None = None,
         producer_seq: int | None = None,
+        frame: BatchFrame | None = None,
     ) -> ProduceAck:
         if acks not in _ACK_MODES:
             raise ConfigError(f"unknown acks mode {acks!r}; expected {_ACK_MODES}")
@@ -318,21 +341,29 @@ class MessagingCluster:
         if state.leader is None:
             raise BrokerUnavailableError(f"{tp} is offline (no leader)")
         leader_broker = self._brokers[state.leader]
-        batch_bytes = sum(
-            estimate_size(k) + estimate_size(v) + estimate_size(h)
-            for (k, v, _ts, h) in entries
-        )
-        if acks == ACKS_NONE:
-            latency = self.cost_model.network_oneway(batch_bytes)
+        if frame is not None:
+            # Compressed batch: the wire carries the frame, and the producer
+            # paid one deflate pass over the logical payload.
+            batch_bytes = frame.wire_bytes
+            latency = self.cost_model.compress(frame.payload_bytes)
         else:
-            latency = self.cost_model.network_transfer(batch_bytes)
+            batch_bytes = sum(
+                estimate_size(k) + estimate_size(v) + estimate_size(h)
+                for (k, v, _ts, h) in entries
+            )
+            latency = 0.0
+        if acks == ACKS_NONE:
+            latency += self.cost_model.network_oneway(batch_bytes)
+        else:
+            latency += self.cost_model.network_transfer(batch_bytes)
+        self.metrics.counter(_M_WIRE_BYTES).increment(batch_bytes)
         if acks == ACKS_ALL and len(state.isr) < config.min_insync_replicas:
             raise NotEnoughReplicasError(
                 f"{tp}: ISR {state.isr} below min_insync_replicas="
                 f"{config.min_insync_replicas}"
             )
         result, broker_latency = leader_broker.produce(
-            tp, entries, state.epoch, producer_id, producer_seq
+            tp, entries, state.epoch, producer_id, producer_seq, frame=frame
         )
         latency += broker_latency
         if acks == ACKS_ALL and not result.duplicate:
@@ -379,10 +410,20 @@ class MessagingCluster:
                 max_messages=1 << 30,
                 committed_only=False,
             )
-            append_latency = follower_replica.replicate_batch(pending.messages)
+            # Ship the leader's compressed frames with the records so the
+            # follower stores the identical opaque blobs (no re-encode).
+            frames = None
+            if pending.messages:
+                frames = leader_replica.log.frames_between(
+                    pending.messages[0].offset, pending.messages[-1].offset
+                )
+            append_latency = follower_replica.replicate_batch(
+                pending.messages, frames=frames
+            )
             leader_replica.record_follower_position(
                 follower_id, follower_replica.log_end_offset
             )
+            self.metrics.counter(_M_WIRE_BYTES).increment(batch_bytes)
             follower_latency = (
                 self.cost_model.network_transfer(batch_bytes) + append_latency
             )
@@ -416,12 +457,15 @@ class MessagingCluster:
         max_bytes: int | None = None,
         isolation: str = "read_uncommitted",
         client_id: str | None = None,
+        lazy: bool = False,
     ) -> FetchResult:
         """Fetch committed records from the partition leader.
 
         ``isolation="read_committed"`` hides open/aborted transactions
         (see :mod:`repro.messaging.transactions`).  ``client_id`` enables
-        per-application fetch quotas (§4.5).
+        per-application fetch quotas (§4.5).  ``lazy=True`` skips record
+        materialization and returns the response as :attr:`FetchResult.batches`
+        — compressed batches stay compressed until the consumer drains them.
         """
         tp = TopicPartition(topic, partition)
         failpoint("cluster.fetch", partition=tp, offset=offset)
@@ -432,28 +476,25 @@ class MessagingCluster:
         result, latency = broker.fetch(
             tp, offset, max_messages, max_bytes, isolation=isolation
         )
-        records = [
-            ConsumerRecord(
-                topic=topic,
-                partition=partition,
-                offset=m.offset,
-                key=m.key,
-                value=m.value,
-                timestamp=m.timestamp,
-                headers=m.headers,
-                # Stored size minus log framing == the payload size the
-                # record would recompute; carrying it avoids re-walking
-                # keys/values/headers on every quota/WAN accounting pass.
-                size=m.size - RECORD_FRAMING_BYTES,
+        frames: list[tuple[int, int, BatchFrame]] = []
+        if result.messages:
+            frames = broker.replica(tp).log.frames_between(
+                result.messages[0].offset, result.messages[-1].offset
             )
-            for m in result.messages
-        ]
-        out_bytes = sum(m.size for m in result.messages)
+        batches = build_fetch_batches(topic, partition, result.messages, frames)
+        # The wire carries what the log stores: compressed runs ship as their
+        # frames, so egress shrinks by the same ratio as the disk did.
+        out_bytes = sum(m.stored_size for m in result.messages)
         latency += self.cost_model.network_transfer(out_bytes)
+        self.metrics.counter(_M_WIRE_BYTES).increment(out_bytes)
         if client_id is not None:
             latency += self.quotas.record_fetch(client_id, out_bytes)
         self.metrics.histogram(_M_FETCH_LATENCY).observe(latency)
-        self.metrics.counter(_M_MESSAGES_OUT).increment(len(records))
+        self.metrics.counter(_M_MESSAGES_OUT).increment(len(result.messages))
+        if lazy:
+            return FetchResult([], latency, result.next_offset, batches=batches)
+        records, inflate_latency = inflate_all(batches, self.cost_model)
+        latency += inflate_latency
         return FetchResult(records, latency, result.next_offset)
 
     # -- offset / metadata queries -----------------------------------------------------------

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Any, Callable
 
+from repro.common.compression import parse_compression
 from repro.common.errors import ConfigError
 
 #: Partitioner strategies (canonical home; re-exported by the producer).
@@ -58,8 +59,12 @@ class ProducerConfig:
     retry_backoff: float = 0.05
     retry_backoff_max: float = 2.0
     retry_jitter_seed: int | None = None
+    #: Batch compression spec: ``"none"``, ``"zlib"``, or ``"zlib:N"``
+    #: (N in 1..9).  Applies per linger batch; see repro.common.compression.
+    compression: str = "none"
 
     def __post_init__(self) -> None:
+        parse_compression(self.compression)  # validate spec early
         if self.linger_messages < 1:
             raise ConfigError("linger_messages must be >= 1")
         if self.max_retries < 0:
@@ -97,6 +102,9 @@ class ConsumerConfig:
     client_id: str | None = None
     key_serde: Any = None
     value_serde: Any = None
+    #: Prefetch sessions: after serving a poll, pre-issue the next fetch so
+    #: its (simulated) latency overlaps the application's processing time.
+    prefetch: bool = False
 
     def __post_init__(self) -> None:
         if self.auto_offset_reset not in AUTO_OFFSET_RESETS:

@@ -23,15 +23,20 @@ from repro.common.errors import (
     NotLeaderForPartitionError,
     OffsetOutOfRangeError,
 )
+from repro.common.metrics import metric_name
 from repro.common.records import TRACE_HEADER, ConsumerRecord, TopicPartition
 from repro.messaging.cluster import MessagingCluster
 from repro.messaging.config import ConsumerConfig
 from repro.messaging.consumer_group import GroupCoordinator
+from repro.messaging.fetchbuffer import FetchBuffer
 from repro.observability.trace import current_tracer
 
 AutoOffsetReset = Literal["earliest", "latest"]
 
 _consumer_ids = itertools.count(1)
+
+#: Polls (per partition) served from a buffer fetched ahead of demand.
+_M_PREFETCH_HITS = metric_name("messaging", "consumer", "prefetch_hits")
 
 
 class Consumer:
@@ -69,9 +74,13 @@ class Consumer:
         self.client_id = config.client_id
         self.key_serde = config.key_serde
         self.value_serde = config.value_serde
+        self.prefetch = config.prefetch
         self.member_id = f"consumer-{next(_consumer_ids)}"
         self._assignment: list[TopicPartition] = []
         self._positions: dict[TopicPartition, int] = {}
+        # One buffered fetch response per partition: the remainder of a
+        # partially-drained poll, or a response fetched ahead of demand.
+        self._buffers: dict[TopicPartition, FetchBuffer] = {}
         self._generation: int | None = None
         self._subscribed_topics: set[str] = set()
         self._rr = 0  # round-robin cursor over assigned partitions
@@ -107,6 +116,11 @@ class Consumer:
         self._positions = {
             tp: pos for tp, pos in self._positions.items() if tp in self._assignment
         }
+        # A rebalance may hand our partitions elsewhere; buffered responses
+        # for them are stale the moment the new owner starts consuming.
+        self._buffers = {
+            tp: buf for tp, buf in self._buffers.items() if tp in self._assignment
+        }
         self._seed_positions()
 
     def _seed_positions(self) -> None:
@@ -135,6 +149,12 @@ class Consumer:
         Partitions are serviced round-robin so one busy partition cannot
         starve the others.  Detects group rebalances (generation change) and
         refreshes the assignment before fetching.
+
+        Responses arrive as lazy :class:`~repro.messaging.fetchbuffer.FetchBuffer`
+        objects: compressed batches are inflated only when drained into the
+        poll.  With ``prefetch=True`` the consumer issues the next fetch as
+        soon as a buffer drains, so its latency overlaps whatever simulated
+        time the application spends processing the previous poll.
         """
         if self.closed:
             raise ConfigError("consumer is closed")
@@ -150,27 +170,57 @@ class Consumer:
             if budget <= 0:
                 break
             tp = self._assignment[(self._rr + i) % n]
-            try:
-                result = self.cluster.fetch(
-                    tp.topic, tp.partition, self._positions[tp], budget,
-                    isolation=self.isolation_level,
-                    client_id=self.client_id,
+            buffer = self._buffers.pop(tp, None)
+            if buffer is not None and buffer.exhausted:
+                buffer = None
+            if buffer is None:
+                try:
+                    result = self.cluster.fetch(
+                        tp.topic, tp.partition, self._positions[tp], budget,
+                        isolation=self.isolation_level,
+                        client_id=self.client_id,
+                        lazy=True,
+                    )
+                except OffsetOutOfRangeError as exc:
+                    self._positions[tp] = self._reset_position(tp, exc)
+                    continue
+                except (BrokerUnavailableError, NotLeaderForPartitionError):
+                    continue  # transient during failover; retry next poll
+                buffer = FetchBuffer(
+                    result.batches or [],
+                    result.next_offset,
+                    result.latency,
+                    issued_at=self.cluster.clock.now(),
                 )
-            except OffsetOutOfRangeError as exc:
-                self._positions[tp] = self._reset_position(tp, exc)
-                continue
-            except (BrokerUnavailableError, NotLeaderForPartitionError):
-                continue  # transient during failover; retry next poll
-            latency += result.latency
-            batch = result.records
+            if buffer.latency:
+                if buffer.prefetched:
+                    # The fetch has been in flight since it was issued; only
+                    # the portion that did not overlap application time is
+                    # still owed.
+                    elapsed = self.cluster.clock.now() - buffer.issued_at
+                    latency += max(0.0, buffer.latency - elapsed)
+                else:
+                    latency += buffer.latency
+                buffer.latency = 0.0
+            batch, inflate_latency = buffer.take(budget, self.cluster.cost_model)
+            latency += inflate_latency
             if batch:
+                if buffer.prefetched:
+                    self.cluster.metrics.counter(_M_PREFETCH_HITS).increment(1)
+                    buffer.prefetched = False
                 if self.key_serde is not None or self.value_serde is not None:
                     batch = [self._deserialize(r) for r in batch]
                 records.extend(batch)
                 budget -= len(batch)
             # Advance by the scan position, not the last delivered record:
             # skipped markers/aborted records must not wedge the consumer.
-            self._positions[tp] = max(self._positions[tp], result.next_offset)
+            position = buffer.position()
+            if position is not None:
+                self._positions[tp] = max(self._positions[tp], position)
+            if not buffer.exhausted:
+                self._buffers[tp] = buffer
+            elif self.prefetch:
+                self._issue_prefetch(tp)
         self._rr = (self._rr + 1) % n
         self.last_poll_latency = latency
         self.records_consumed += len(records)
@@ -188,6 +238,35 @@ class Consumer:
                     if self.group is not None:
                         span.attrs["group"] = self.group
         return records
+
+    def _issue_prefetch(self, tp: TopicPartition) -> None:
+        """Fetch the next response for ``tp`` before the application asks.
+
+        The buffer records its simulated issue time; when the next poll
+        drains it, only fetch latency that did not overlap the application's
+        processing time is charged (see :meth:`poll`).
+        """
+        try:
+            result = self.cluster.fetch(
+                tp.topic, tp.partition, self._positions[tp],
+                self.max_poll_messages,
+                isolation=self.isolation_level,
+                client_id=self.client_id,
+                lazy=True,
+            )
+        except (
+            OffsetOutOfRangeError,
+            BrokerUnavailableError,
+            NotLeaderForPartitionError,
+        ):
+            return  # next poll falls back to a synchronous fetch
+        self._buffers[tp] = FetchBuffer(
+            result.batches or [],
+            result.next_offset,
+            result.latency,
+            issued_at=self.cluster.clock.now(),
+            prefetched=True,
+        )
 
     def _deserialize(self, record: ConsumerRecord) -> ConsumerRecord:
         key = record.key
@@ -221,6 +300,7 @@ class Consumer:
 
     def _reset_position(self, tp: TopicPartition, exc: OffsetOutOfRangeError) -> int:
         """Position fell off the retained log (retention won the race)."""
+        self._buffers.pop(tp, None)
         if self.auto_offset_reset == "earliest":
             return self.cluster.beginning_offset(tp)
         return self.cluster.end_offset(tp)
@@ -230,6 +310,8 @@ class Consumer:
     def seek(self, tp: TopicPartition, offset: int) -> None:
         self._require_assigned(tp)
         self._positions[tp] = offset
+        # Any buffered response is for the old position.
+        self._buffers.pop(tp, None)
 
     def seek_to_beginning(self, tp: TopicPartition) -> None:
         self.seek(tp, self.cluster.beginning_offset(tp))

@@ -1,0 +1,287 @@
+"""Zero-copy fetch buffers: batch-granular lazy decompression for consumers.
+
+A fetch response is not a flat record list but a sequence of *batches* —
+some plain (materialized :class:`~repro.common.records.ConsumerRecord`
+lists), some still the compressed :class:`~repro.common.compression.BatchFrame`
+the producer shipped.  A framed batch stays compressed until the consumer
+actually drains into it: :meth:`FetchBatch.inflate` decodes the frame's
+payload through a memoryview (no intermediate copy of the blob), charges the
+simulated inflate CPU once, and memoizes the records.  A poll that stops
+mid-response therefore never inflates the batches behind its cursor.
+
+:class:`FetchBuffer` holds one response's batches plus the bookkeeping a
+prefetching consumer needs: the fetch latency still owed, the simulated
+issue time (so latency that overlapped application processing is not
+re-charged), and the position a partially-drained poll should commit.
+"""
+
+from __future__ import annotations
+
+from repro.common.compression import BatchFrame
+from repro.common.costmodel import CostModel
+from repro.common.records import (
+    RECORD_FRAMING_BYTES,
+    TRACE_HEADER,
+    ConsumerRecord,
+    StoredMessage,
+    estimate_size,
+)
+
+
+def record_from_stored(
+    topic: str, partition: int, message: StoredMessage
+) -> ConsumerRecord:
+    """Materialize one stored record into a consumer record (eager path)."""
+    return ConsumerRecord(
+        topic=topic,
+        partition=partition,
+        offset=message.offset,
+        key=message.key,
+        value=message.value,
+        timestamp=message.timestamp,
+        headers=message.headers,
+        # Logical size minus log framing == the payload size the record
+        # would recompute; carrying it avoids re-walking keys/values/headers
+        # on every quota/WAN accounting pass.
+        size=message.size - RECORD_FRAMING_BYTES,
+    )
+
+
+class FetchBatch:
+    """One batch of a fetch response: either materialized or still framed."""
+
+    __slots__ = ("topic", "partition", "records", "frame", "base_offset")
+
+    def __init__(
+        self,
+        topic: str,
+        partition: int,
+        records: list[ConsumerRecord] | None = None,
+        frame: BatchFrame | None = None,
+        base_offset: int = 0,
+    ) -> None:
+        self.topic = topic
+        self.partition = partition
+        self.records = records
+        self.frame = frame
+        self.base_offset = base_offset
+
+    @property
+    def count(self) -> int:
+        if self.records is not None:
+            return len(self.records)
+        return self.frame.count
+
+    @property
+    def compressed(self) -> bool:
+        return self.records is None
+
+    def inflate(self, cost_model: CostModel) -> tuple[list[ConsumerRecord], float]:
+        """Return the batch's records, decompressing at most once.
+
+        The returned latency is the simulated inflate CPU for a framed batch
+        on its first touch, ``0.0`` afterwards and for plain batches.
+        """
+        if self.records is not None:
+            return self.records, 0.0
+        frame = self.frame
+        latency = cost_model.decompress(frame.payload_bytes)
+        # Batch-header state rides uncompressed on the frame; re-attach it so
+        # frame-served records are indistinguishable from eagerly stored ones.
+        pid_headers = None
+        extra = 0
+        if frame.producer_id is not None and frame.producer_seq is not None:
+            pid_headers = {
+                "__pid": frame.producer_id,
+                "__seq": frame.producer_seq,
+            }
+            extra = estimate_size(pid_headers)
+        contexts = frame.trace_contexts
+        records = []
+        for i, (key, value, timestamp, headers) in enumerate(frame.entries()):
+            if pid_headers is not None:
+                headers = {**headers, **pid_headers}
+            if contexts and contexts[i] is not None:
+                headers = dict(headers)
+                headers[TRACE_HEADER] = contexts[i]
+            records.append(
+                ConsumerRecord(
+                    topic=self.topic,
+                    partition=self.partition,
+                    offset=self.base_offset + i,
+                    key=key,
+                    value=value,
+                    timestamp=timestamp,
+                    headers=headers,
+                    size=frame.sizes[i] + extra,
+                )
+            )
+        self.records = records
+        return records, latency
+
+
+def build_fetch_batches(
+    topic: str,
+    partition: int,
+    messages: list[StoredMessage],
+    frames: list[tuple[int, int, BatchFrame]],
+) -> list[FetchBatch]:
+    """Group a fetch response's records into frame-backed and plain batches.
+
+    A frame stands in for its records only when the response contains the
+    frame's *entire* offset range contiguously — partial visibility (high
+    watermark cut, compaction, skipped markers) falls back to the
+    materialized records, so correctness never depends on frame coverage.
+    """
+    batches: list[FetchBatch] = []
+    if not messages:
+        return batches
+    if not frames:
+        return [
+            FetchBatch(
+                topic,
+                partition,
+                records=[record_from_stored(topic, partition, m) for m in messages],
+            )
+        ]
+    plain: list[StoredMessage] = []
+
+    def flush_plain() -> None:
+        if plain:
+            batches.append(
+                FetchBatch(
+                    topic,
+                    partition,
+                    records=[
+                        record_from_stored(topic, partition, m) for m in plain
+                    ],
+                )
+            )
+            plain.clear()
+
+    i = 0
+    fi = 0
+    n = len(messages)
+    while i < n:
+        offset = messages[i].offset
+        while fi < len(frames) and frames[fi][1] < offset:
+            fi += 1
+        if fi < len(frames):
+            base, last, frame = frames[fi]
+            end = i + frame.count
+            # Offsets strictly increase, so matching endpoints over exactly
+            # ``count`` records proves the whole frame range is present.
+            if (
+                offset == base
+                and end <= n
+                and messages[end - 1].offset == last
+            ):
+                flush_plain()
+                batches.append(
+                    FetchBatch(topic, partition, frame=frame, base_offset=base)
+                )
+                i = end
+                fi += 1
+                continue
+        plain.append(messages[i])
+        i += 1
+    flush_plain()
+    return batches
+
+
+def inflate_all(
+    batches: list[FetchBatch], cost_model: CostModel
+) -> tuple[list[ConsumerRecord], float]:
+    """Materialize every batch (legacy eager path); returns records + CPU."""
+    records: list[ConsumerRecord] = []
+    latency = 0.0
+    for batch in batches:
+        recs, lat = batch.inflate(cost_model)
+        records.extend(recs)
+        latency += lat
+    return records, latency
+
+
+class FetchBuffer:
+    """One fetch response buffered for (pre)fetching consumers.
+
+    Tracks a drain cursor across the response's batches so a poll can take
+    fewer records than were fetched without inflating what it leaves behind,
+    and remembers when the fetch was issued so a prefetched response only
+    charges the latency that did *not* overlap application processing.
+    """
+
+    __slots__ = (
+        "batches",
+        "next_offset",
+        "latency",
+        "issued_at",
+        "prefetched",
+        "_index",
+        "_cursor",
+        "_last_taken",
+    )
+
+    def __init__(
+        self,
+        batches: list[FetchBatch],
+        next_offset: int,
+        latency: float,
+        issued_at: float,
+        prefetched: bool = False,
+    ) -> None:
+        self.batches = batches
+        self.next_offset = next_offset
+        self.latency = latency
+        self.issued_at = issued_at
+        self.prefetched = prefetched
+        self._index = 0
+        self._cursor = 0
+        self._last_taken: int | None = None
+
+    @property
+    def exhausted(self) -> bool:
+        return self._index >= len(self.batches)
+
+    def remaining(self) -> int:
+        total = 0
+        for i in range(self._index, len(self.batches)):
+            total += self.batches[i].count
+        return total - self._cursor
+
+    def take(
+        self, limit: int, cost_model: CostModel
+    ) -> tuple[list[ConsumerRecord], float]:
+        """Drain up to ``limit`` records; returns them + inflate latency."""
+        out: list[ConsumerRecord] = []
+        latency = 0.0
+        while limit > 0 and self._index < len(self.batches):
+            batch = self.batches[self._index]
+            records, lat = batch.inflate(cost_model)
+            latency += lat
+            available = len(records) - self._cursor
+            if available <= limit:
+                out.extend(records[self._cursor:])
+                limit -= available
+                self._index += 1
+                self._cursor = 0
+            else:
+                out.extend(records[self._cursor : self._cursor + limit])
+                self._cursor += limit
+                limit = 0
+        if out:
+            self._last_taken = out[-1].offset
+        return out, latency
+
+    def position(self) -> int | None:
+        """Offset the consumer should resume from after the drain so far.
+
+        ``next_offset`` once the buffer is fully drained (markers skipped at
+        the tail are then stepped over); one past the last delivered record
+        while records remain buffered; ``None`` if nothing was taken yet.
+        """
+        if self.exhausted:
+            return self.next_offset
+        if self._last_taken is not None:
+            return self._last_taken + 1
+        return None

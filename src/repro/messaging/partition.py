@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.common.compression import BatchFrame
 from repro.common.errors import (
     ConfigError,
     NotLeaderForPartitionError,
@@ -116,12 +117,15 @@ class PartitionReplica:
         epoch: int | None = None,
         producer_id: int | None = None,
         producer_seq: int | None = None,
+        frame: BatchFrame | None = None,
     ) -> ProduceResult:
         """Leader-side append of a batch of (key, value, timestamp, headers).
 
         With ``producer_id``/``producer_seq`` set, a replayed batch (same or
         lower sequence) is deduplicated and the original offsets returned —
-        the idempotent-producer upgrade from at-least-once.
+        the idempotent-producer upgrade from at-least-once.  ``frame`` is the
+        producer's compressed blob for this batch: the log stores it as an
+        opaque unit and charges storage by its wire bytes.
         """
         self._check_leader(epoch)
         if not entries:
@@ -153,7 +157,7 @@ class PartitionReplica:
             ]
         start_offset = self.log.log_end_offset
         try:
-            batch = self.log.append_batch(entries)
+            batch = self.log.append_batch(entries, frame=frame)
         except ConfigError:
             # Per-record semantics: records before the failing one were
             # appended, so their transaction state must still be tracked.
@@ -285,12 +289,19 @@ class PartitionReplica:
 
     # -- replication bookkeeping ---------------------------------------------------------
 
-    def replicate_batch(self, messages: list[StoredMessage]) -> float:
+    def replicate_batch(
+        self,
+        messages: list[StoredMessage],
+        frames: list[tuple[int, int, BatchFrame]] | None = None,
+    ) -> float:
         """Follower-side append of records copied from the leader.
 
         The whole fetched batch lands through one
         :meth:`~repro.storage.log.PartitionLog.append_stored_batch` call —
-        one roll/index/page-cache pass instead of one per record.
+        one roll/index/page-cache pass instead of one per record.  ``frames``
+        carries the leader's compressed-batch registry entries for the copied
+        range: the follower shares the immutable frame objects, so compressed
+        batches cross the replication hop without being re-encoded.
         """
         if self.role == ROLE_LEADER:
             raise ConfigError(f"{self.partition}: leader cannot replicate from itself")
@@ -304,10 +315,11 @@ class PartitionReplica:
                 offset=message.offset,
                 headers=dict(message.headers),
                 size=message.size,
+                stored_size=message.stored_size,
             )
             for message in messages
         ]
-        latency = self.log.append_stored_batch(copies).latency
+        latency = self.log.append_stored_batch(copies, frames=frames).latency
         for copy in copies:
             if copy.headers:
                 self._absorb_producer_state(copy)

@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import itertools
 import random
-import zlib
 from typing import Any
 
+from repro.common.compression import BatchFrame, compress_entries, parse_compression
 from repro.common.errors import (
     BrokerUnavailableError,
     ConfigError,
@@ -36,6 +36,8 @@ from repro.common.errors import (
     ProducerFlushError,
     StaleEpochError,
 )
+from repro.common.metrics import metric_name
+from repro.common.partitioning import partition_for_key
 from repro.common.records import TRACE_HEADER, ProducerRecord, TopicPartition
 from repro.messaging.cluster import MessagingCluster, ProduceAck
 from repro.messaging.config import (
@@ -57,10 +59,8 @@ _RETRIABLE = (
 
 _producer_ids = itertools.count(1)
 
-
-def _stable_hash(key: Any) -> int:
-    """Deterministic key hash (Python's ``hash`` is salted per process)."""
-    return zlib.crc32(repr(key).encode("utf-8"))
+#: Logical-bytes-per-wire-byte observed per compressed batch.
+_M_COMPRESSION_RATIO = metric_name("messaging", "producer", "compression_ratio")
 
 
 class Producer:
@@ -91,6 +91,11 @@ class Producer:
         # "json" resolved via serde_by_name at the call site).
         self.key_serde = config.key_serde
         self.value_serde = config.value_serde
+        # Batch compression: each linger batch is deflated once, client-side,
+        # into a BatchFrame that then travels broker -> follower -> cold tier
+        # as an opaque blob.  codec "none" keeps the frameless legacy path.
+        self._codec, self._codec_level = parse_compression(config.compression)
+        self._last_frame: BatchFrame | None = None
         self.producer_id = next(_producer_ids)
         self.retry_backoff = config.retry_backoff
         self.retry_backoff_max = config.retry_backoff_max
@@ -129,7 +134,7 @@ class Producer:
         if callable(self.partitioner):
             return self.partitioner(record.key, num_partitions) % num_partitions
         if self.partitioner == PARTITIONER_HASH and record.key is not None:
-            return _stable_hash(record.key) % num_partitions
+            return partition_for_key(record.key, num_partitions)
         counter = self._round_robin.setdefault(record.topic, itertools.count())
         return next(counter) % num_partitions
 
@@ -196,6 +201,7 @@ class Producer:
                 return self._send_batch(tp, [entry])
             try:
                 ack = self._send_batch(tp, [entry])
+                self._annotate_compression(span)
             except MessagingError as exc:
                 span.attrs["error"] = type(exc).__name__
                 raise
@@ -214,6 +220,7 @@ class Producer:
             span.attrs["batched"] = len(buffer)
             try:
                 ack = self._send_batch(tp, buffer)
+                self._annotate_compression(span)
             except MessagingError as exc:
                 span.attrs["error"] = type(exc).__name__
                 raise
@@ -280,6 +287,27 @@ class Producer:
                 # batches can never collide with it.
                 producer_seq = self._sequences.get(tp, -1) + 1
                 self._sequences[tp] = producer_seq
+        frame = self._last_frame = None
+        if self._codec != "none":
+            # Stamp timestamps *before* compressing so the frame and the
+            # broker's stored records agree even when retries advance the
+            # clock (cluster-side stamping then becomes a no-op).  The
+            # stamped entries also replace the originals everywhere below —
+            # parked batches keep them, so a flush-retry recompresses to the
+            # same bytes.
+            now = self.cluster.clock.now()
+            entries = [
+                (k, v, ts if ts is not None else now, h)
+                for (k, v, ts, h) in entries
+            ]
+            frame = compress_entries(entries, self._codec, self._codec_level)
+            if frame is not None:
+                frame.producer_id = producer_id
+                frame.producer_seq = producer_seq
+                self._last_frame = frame
+                self.cluster.metrics.histogram(_M_COMPRESSION_RATIO).observe(
+                    frame.ratio
+                )
         attempts = 0
         while True:
             try:
@@ -291,6 +319,7 @@ class Producer:
                     producer_id=producer_id,
                     producer_seq=producer_seq,
                     client_id=self.client_id,
+                    frame=frame,
                 )
                 self.acks_received += 1
                 return ack
@@ -310,6 +339,13 @@ class Producer:
                 # Capped-exponential backoff with deterministic jitter gives
                 # failovers and ISR recovery simulated time to complete.
                 self.cluster.tick(self._backoff(attempts))
+
+    def _annotate_compression(self, span) -> None:
+        """Attach codec + achieved ratio of the last framed batch to a span."""
+        frame = self._last_frame
+        if span is not None and frame is not None:
+            span.attrs["codec"] = f"{frame.codec}:{frame.level}"
+            span.attrs["compression_ratio"] = round(frame.ratio, 4)
 
     def _backoff(self, attempts: int) -> float:
         delay = min(

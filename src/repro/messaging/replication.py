@@ -22,8 +22,12 @@ from repro.common.errors import (
     NotLeaderForPartitionError,
     OffsetOutOfRangeError,
 )
+from repro.common.metrics import metric_name
 from repro.common.records import TopicPartition
 from repro.chaos.failpoints import SKIP, failpoint
+
+# Physical bytes a background catch-up pass moved leader -> follower.
+_M_WIRE_BYTES = metric_name("messaging", "cluster", "bytes_on_wire")
 
 
 @dataclass
@@ -120,7 +124,7 @@ class ReplicationManager:
 
         fetch_offset = follower_replica.log_end_offset
         try:
-            messages, leader_leo, leader_hw = leader_broker.replica_fetch(
+            messages, leader_leo, leader_hw, frames = leader_broker.replica_fetch(
                 partition, fetch_offset, follower_id, self.max_fetch
             )
         except (
@@ -130,8 +134,13 @@ class ReplicationManager:
         ):
             return
         if messages:
-            follower_replica.replicate_batch(messages)
+            # Frames ride along so compressed batches land on the follower as
+            # the same opaque blobs the leader stores (no re-encode).
+            follower_replica.replicate_batch(messages, frames=frames)
             stats.messages_copied += len(messages)
+            self.cluster.metrics.counter(_M_WIRE_BYTES).increment(
+                sum(m.stored_size for m in messages)
+            )
             # Report the new position so the leader can advance the HW
             # without waiting for the next pass.
             leader_hw = leader_replica.record_follower_position(

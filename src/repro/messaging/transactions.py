@@ -33,6 +33,7 @@ from repro.common.errors import (
     ProducerFencedError,
     TransactionError,
 )
+from repro.common.partitioning import partition_for_key
 from repro.common.records import TopicPartition
 from repro.messaging.cluster import ACKS_ALL, MessagingCluster
 
@@ -228,9 +229,7 @@ class TransactionalProducer:
         num_partitions = len(self.cluster.partitions_of(topic))
         if partition is None:
             if key is not None:
-                import zlib
-
-                partition = zlib.crc32(repr(key).encode()) % num_partitions
+                partition = partition_for_key(key, num_partitions)
             else:
                 partition = next(self._rr) % num_partitions
         tp = TopicPartition(topic, partition)

@@ -14,12 +14,13 @@ broker adds request/network overheads on top).
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass
 from itertools import accumulate
 from typing import Any
 
 from repro.common.clock import Clock, SimClock
+from repro.common.compression import BatchFrame
 from repro.common.costmodel import DEFAULT_COST_MODEL, CostModel
 from repro.common.errors import ConfigError, OffsetOutOfRangeError
 from repro.common.records import StoredMessage
@@ -116,6 +117,13 @@ class PartitionLog:
         self._bases: list[int] = [0]
         self._next_offset = 0
         self._log_start_offset = 0
+        # Compressed-batch registry: base offset -> (last offset, frame).
+        # The frame is the physical unit the records arrived in; fetch paths
+        # consult it to hand consumers the still-compressed blob instead of
+        # re-materialized records.  Entries are invalidated whenever the
+        # covered offsets are truncated, dropped, or compacted.
+        self._frames: dict[int, tuple[int, BatchFrame]] = {}
+        self._frame_bases: list[int] = []
 
     # -- identity helpers -------------------------------------------------------
 
@@ -145,12 +153,14 @@ class PartitionLog:
                 f"message of {message.size}B exceeds max_message_bytes="
                 f"{self.config.max_message_bytes}"
             )
-        segment = self._maybe_roll(message.size, now)
+        segment = self._maybe_roll(message.stored_size, now)
         position = segment.append(message, now)
         self._indexes[segment.base_offset].maybe_add(
-            message.offset, position, message.size
+            message.offset, position, message.stored_size
         )
-        latency = self.page_cache.write(self._file_id(segment), position, message.size)
+        latency = self.page_cache.write(
+            self._file_id(segment), position, message.stored_size
+        )
         self._next_offset += 1
         return AppendResult(offset=message.offset, latency=latency)
 
@@ -167,18 +177,21 @@ class PartitionLog:
                 f"{self._next_offset}"
             )
         now = self.clock.now()
-        segment = self._maybe_roll(message.size, now)
+        segment = self._maybe_roll(message.stored_size, now)
         position = segment.append(message, now)
         self._indexes[segment.base_offset].maybe_add(
-            message.offset, position, message.size
+            message.offset, position, message.stored_size
         )
-        latency = self.page_cache.write(self._file_id(segment), position, message.size)
+        latency = self.page_cache.write(
+            self._file_id(segment), position, message.stored_size
+        )
         self._next_offset = message.offset + 1
         return AppendResult(offset=message.offset, latency=latency)
 
     def append_batch(
         self,
         entries: list[tuple[Any, Any, float | None, dict[str, Any] | None]],
+        frame: BatchFrame | None = None,
     ) -> BatchAppendResult:
         """Append a batch of ``(key, value, timestamp, headers)`` at the tail.
 
@@ -188,6 +201,11 @@ class PartitionLog:
         segment roll points, same index entries, and the same total simulated
         latency — but charges the page cache once per segment run and updates
         the index in bulk, so the wall-clock cost amortizes over the batch.
+
+        With ``frame`` set the batch arrived as one compressed blob: each
+        record's physical footprint becomes its share of the frame's wire
+        bytes, and the frame is registered so fetches can serve the blob
+        without re-materializing records.
         """
         failpoint("log.append", log=self.name, count=len(entries))
         now = self.clock.now()
@@ -211,7 +229,20 @@ class PartitionLog:
                 break
             messages.append(message)
             offset += 1
+        if (
+            frame is not None
+            and error is None
+            and len(messages) == frame.count
+        ):
+            for message, stored in zip(messages, frame.stored_sizes()):
+                message.stored_size = stored
+        else:
+            frame = None  # partial batch: store records uncompressed
         latency = self._append_run(messages, now)
+        if frame is not None and messages:
+            self.register_frame(
+                messages[0].offset, messages[-1].offset, frame
+            )
         if error is not None:
             raise error
         if not messages:
@@ -223,7 +254,9 @@ class PartitionLog:
         )
 
     def append_stored_batch(
-        self, messages: list[StoredMessage]
+        self,
+        messages: list[StoredMessage],
+        frames: list[tuple[int, int, BatchFrame]] | None = None,
     ) -> BatchAppendResult:
         """Batched :meth:`append_stored`: a follower copying a fetched batch.
 
@@ -231,6 +264,11 @@ class PartitionLog:
         starting at or beyond the local end offset; gaps from compaction are
         allowed).  Records before an out-of-order one are appended before
         :class:`ConfigError` is raised, matching the per-record loop.
+
+        ``frames`` carries the leader's ``(base, last, frame)`` registry
+        entries covering the batch: the follower re-registers the *same*
+        frame objects, so the leader-to-follower hop never re-encodes a
+        compressed batch (the opaque-unit property).
         """
         failpoint("log.append", log=self.name, count=len(messages))
         now = self.clock.now()
@@ -248,6 +286,11 @@ class PartitionLog:
             expected = message.offset + 1
         run = messages[:valid] if valid < len(messages) else messages
         latency = self._append_run(run, now)
+        if frames and run:
+            lo, hi = run[0].offset, run[-1].offset
+            for base, last, frame in frames:
+                if lo <= base and last <= hi:  # fully appended coverage only
+                    self.register_frame(base, last, frame)
         if error is not None:
             raise error
         if not run:
@@ -272,7 +315,7 @@ class PartitionLog:
         config = self.config
         segment_max_bytes = config.segment_max_bytes
         segment_max_messages = config.segment_max_messages
-        sizes = [m.size for m in messages]
+        sizes = [m.stored_size for m in messages]
         offsets = [m.offset for m in messages]
         # cum[j] = bytes of the first j records; strictly increasing (every
         # record carries at least its framing bytes), so chunk-fit decisions
@@ -414,6 +457,48 @@ class PartitionLog:
         next_offset = collected[-1].offset + 1 if collected else offset
         return ReadResult(collected, latency, self._next_offset, next_offset)
 
+    # -- compressed-batch registry -------------------------------------------------
+
+    def register_frame(self, base: int, last: int, frame: BatchFrame) -> None:
+        """Record that offsets ``[base, last]`` arrived as one frame."""
+        if base not in self._frames:
+            insort(self._frame_bases, base)
+        self._frames[base] = (last, frame)
+
+    def frames_between(
+        self, lo: int, hi: int
+    ) -> list[tuple[int, int, BatchFrame]]:
+        """Frames whose full ``[base, last]`` range lies within ``[lo, hi]``.
+
+        Only fully-covered frames are returned: a frame that was partially
+        truncated or straddles the requested range cannot safely stand in
+        for its records.
+        """
+        if not self._frame_bases:
+            return []
+        start = bisect_left(self._frame_bases, lo)
+        end = bisect_right(self._frame_bases, hi)
+        out = []
+        for base in self._frame_bases[start:end]:
+            last, frame = self._frames[base]
+            if last <= hi:
+                out.append((base, last, frame))
+        return out
+
+    def _drop_frames_overlapping(self, lo: int, hi: int) -> None:
+        """Invalidate every frame overlapping offsets ``[lo, hi]``."""
+        if not self._frame_bases:
+            return
+        end = bisect_right(self._frame_bases, hi)
+        keep_head = []
+        for base in self._frame_bases[:end]:
+            last, _frame = self._frames[base]
+            if last < lo:
+                keep_head.append(base)
+            else:
+                del self._frames[base]
+        self._frame_bases = keep_head + self._frame_bases[end:]
+
     def _segment_index_for(self, offset: int) -> int:
         idx = bisect_right(self._bases, offset) - 1
         if idx < 0:
@@ -456,6 +541,7 @@ class PartitionLog:
             raise ConfigError(
                 f"cannot truncate below log start {self._log_start_offset}"
             )
+        self._drop_frames_overlapping(offset, 1 << 62)
         removed = 0
         while self._segments and self._segments[-1].base_offset >= offset:
             victim = self._segments.pop()
@@ -491,8 +577,8 @@ class PartitionLog:
         entries = []
         position = 0
         for message in segment.messages():
-            entries.append((message.offset, position, message.size))
-            position += message.size
+            entries.append((message.offset, position, message.stored_size))
+            position += message.stored_size
         self._indexes[segment.base_offset].rebuild(entries)
 
     # -- retention / compaction hooks ----------------------------------------------
@@ -510,6 +596,10 @@ class PartitionLog:
         if segment not in self._segments:
             raise ConfigError("segment does not belong to this log")
         freed = segment.size_bytes
+        last = segment.last_offset
+        self._drop_frames_overlapping(
+            segment.base_offset, last if last is not None else segment.base_offset
+        )
         self._segments.remove(segment)
         self._indexes.pop(segment.base_offset, None)
         self.page_cache.forget_file(self._file_id(segment))
@@ -533,6 +623,11 @@ class PartitionLog:
     ) -> int:
         """Compaction hook: replace a sealed segment's records; returns bytes
         reclaimed and rebuilds its index and cache pages."""
+        last = segment.last_offset
+        if last is not None:
+            # Compaction may delete records out of a frame's range; the frame
+            # can no longer stand in for its records.
+            self._drop_frames_overlapping(segment.base_offset, last)
         reclaimed = segment.replace_messages(survivors)
         self._rebuild_index(segment)
         self.page_cache.forget_file(self._file_id(segment))

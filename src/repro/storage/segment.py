@@ -119,7 +119,10 @@ class LogSegment:
         self._messages.append(message)
         self._offsets.append(message.offset)
         self._positions.append(position)
-        self._size_bytes += message.size
+        # Positions and sizes are *physical* bytes: a record's share of its
+        # (possibly compressed) batch frame.  Equal to the logical size for
+        # uncompressed records.
+        self._size_bytes += message.stored_size
         self.last_append_at = now
         return position
 
@@ -155,7 +158,7 @@ class LogSegment:
             previous = message.offset
             offsets.append(message.offset)
             positions.append(position)
-            position += message.size
+            position += message.stored_size
         self._messages.extend(messages)
         self._offsets.extend(offsets)
         self._positions.extend(positions)
@@ -252,7 +255,7 @@ class LogSegment:
         position = 0
         for message in self._messages:
             self._positions.append(position)
-            position += message.size
+            position += message.stored_size
         self._size_bytes = position
         return old_size - self._size_bytes
 

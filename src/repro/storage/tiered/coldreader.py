@@ -59,7 +59,11 @@ class _HydratedSegment:
         self.offsets = [r.offset for r in records]
         # positions[i] = byte offset of record i; final element = total size,
         # so served byte ranges are prefix-sum arithmetic as in LogSegment.
-        self.positions = list(accumulate((r.size for r in records), initial=0))
+        # Physical (stored) sizes: compressed archives hydrate and serve at
+        # their compressed footprint, matching entry.size_bytes.
+        self.positions = list(
+            accumulate((r.stored_size for r in records), initial=0)
+        )
         self.size_bytes = size_bytes
 
 
@@ -158,7 +162,7 @@ class ColdReader:
             stop = min(len(hydrated.records), idx + max_messages - len(collected))
             keep = idx
             while keep < stop:
-                size = hydrated.records[keep].size
+                size = hydrated.records[keep].stored_size
                 if size > byte_budget and (collected or keep > idx):
                     break  # Kafka semantics: always deliver >= 1 record
                 byte_budget -= size

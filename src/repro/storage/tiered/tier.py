@@ -106,7 +106,7 @@ class ColdTier:
         remaining = max_messages - len(messages)
         byte_budget = None
         if max_bytes is not None:
-            byte_budget = max_bytes - sum(m.size for m in messages)
+            byte_budget = max_bytes - sum(m.stored_size for m in messages)
         # The archive ended at or before the hot log's start; continue the
         # scan in the hot tier when the caller's budgets are not exhausted.
         if (

@@ -18,8 +18,15 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 from repro.common.errors import TopicNotFoundError
+from repro.common.metrics import metric_name
 from repro.common.records import TopicPartition
 from repro.messaging.cluster import MessagingCluster
+
+# Compression / prefetch observability surfaced by describe_cluster.
+_M_COMPRESSION_RATIO = metric_name("messaging", "producer", "compression_ratio")
+_M_BYTES_SAVED = metric_name("messaging", "broker", "bytes_saved")
+_M_WIRE_BYTES = metric_name("messaging", "cluster", "bytes_on_wire")
+_M_PREFETCH_HITS = metric_name("messaging", "consumer", "prefetch_hits")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.observability.trace import Tracer
@@ -108,7 +115,28 @@ class AdminClient:
         stats["offline_partitions"] = len(
             self.cluster.controller.offline_partitions()
         )
+        stats["compression"] = self.compression_stats()
         return stats
+
+    def compression_stats(self) -> dict[str, float]:
+        """Batch-compression and prefetch effectiveness, cluster-wide.
+
+        ``mean_compression_ratio`` is logical/wire averaged over produced
+        frames (0.0 until a compressing producer has flushed);
+        ``bytes_saved`` the cumulative wire/storage bytes compression
+        avoided; ``bytes_on_wire`` every physical byte the simulated network
+        moved; ``prefetch_hits`` polls served from a fetch issued ahead of
+        demand.
+        """
+        metrics = self.cluster.metrics
+        ratio = metrics.histogram(_M_COMPRESSION_RATIO)
+        return {
+            "mean_compression_ratio": ratio.mean if ratio.count else 0.0,
+            "compressed_batches": float(ratio.count),
+            "bytes_saved": metrics.counter(_M_BYTES_SAVED).value,
+            "bytes_on_wire": metrics.counter(_M_WIRE_BYTES).value,
+            "prefetch_hits": metrics.counter(_M_PREFETCH_HITS).value,
+        }
 
     def describe_topic(self, topic: str) -> list[PartitionInfo]:
         config = self.cluster.topic_config(topic)  # raises if unknown

@@ -25,7 +25,7 @@ class _EnrichTask:
         )
 
 
-def _run(records, linger, traced, sample_rate):
+def _run(records, linger, traced, sample_rate, compression="none"):
     """One produce -> job -> consume pass; returns the observable outcome."""
     liquid = Liquid(num_brokers=3)
     liquid.create_feed("source", partitions=2)
@@ -34,7 +34,11 @@ def _run(records, linger, traced, sample_rate):
         outputs=["derived"],
     )
     producer = liquid.producer(
-        config=ProducerConfig(linger_messages=linger, retry_jitter_seed=0)
+        config=ProducerConfig(
+            linger_messages=linger,
+            retry_jitter_seed=0,
+            compression=compression,
+        )
     )
 
     def workload():
@@ -99,6 +103,31 @@ record_lists = st.lists(
 def test_traced_run_is_byte_identical_to_untraced(records, linger, sample_rate):
     baseline = _run(records, linger, traced=False, sample_rate=1)
     traced = _run(records, linger, traced=True, sample_rate=sample_rate)
+    assert traced == baseline
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    records=record_lists,
+    linger=st.sampled_from([1, 3]),
+    sample_rate=st.sampled_from([1, 2, 5]),
+)
+def test_traced_run_is_byte_identical_with_compression(
+    records, linger, sample_rate
+):
+    """Tracing transparency survives the compressed wire format.
+
+    Trace contexts ride *outside* the compressed frame payload, so arming
+    both tracing and compression must still leave clock, metrics, and
+    delivered records identical to the untraced compressed run.
+    """
+    baseline = _run(
+        records, linger, traced=False, sample_rate=1, compression="zlib:6"
+    )
+    traced = _run(
+        records, linger, traced=True, sample_rate=sample_rate,
+        compression="zlib:6",
+    )
     assert traced == baseline
 
 

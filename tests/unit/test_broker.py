@@ -80,9 +80,10 @@ class TestRequestPaths:
     def test_replica_fetch_reports_position(self):
         _clock, broker = leader_broker()
         broker.produce(TP, entries(3))
-        messages, leo, hw = broker.replica_fetch(TP, 0, follower_id=1)
+        messages, leo, hw, frames = broker.replica_fetch(TP, 0, follower_id=1)
         assert len(messages) == 3
         assert leo == 3
+        assert frames == []  # uncompressed produce registers no frames
 
     def test_metrics_recorded(self):
         _clock, broker = leader_broker()

@@ -74,13 +74,16 @@ def _exercise_stack() -> MetricsRegistry:
         JobConfig(name="enrich", inputs=["source"], task_factory=_PassThrough),
         outputs=["derived"],
     )
-    producer = liquid.producer()
+    # Compression + prefetch armed so their instruments join the sweep.
+    producer = liquid.producer(compression="zlib:6", linger_messages=5)
     for i in range(5):
         producer.send("source", {"i": i}, key=f"k{i}")
+    producer.flush()
     liquid.cluster.run_until_replicated()
     liquid.process_available()
-    consumer = liquid.consumer()
+    consumer = liquid.consumer(prefetch=True, auto_offset_reset="earliest")
     consumer.assign([TopicPartition("derived", 0)])
+    consumer.poll()
     consumer.poll()
     return liquid.cluster.metrics
 
@@ -127,3 +130,8 @@ class TestRegistryConvention:
         assert any(n.startswith("messaging.cluster.") for n in names)
         assert any(n.startswith("storage.pagecache.") for n in names)
         assert any(n.startswith("processing.job.enrich.") for n in names)
+
+    def test_compression_and_prefetch_instruments_registered(self):
+        names = _exercise_stack().names()
+        assert "messaging.producer.compression_ratio" in names
+        assert "messaging.cluster.bytes_on_wire" in names

@@ -11,8 +11,9 @@ from repro.common.errors import (
     ProducerFlushError,
 )
 from repro.common.records import TopicPartition
+from repro.common.partitioning import stable_hash
 from repro.messaging.cluster import ACKS_ALL, MessagingCluster
-from repro.messaging.producer import Producer, _stable_hash
+from repro.messaging.producer import Producer
 
 
 @pytest.fixture(autouse=True)
@@ -40,7 +41,7 @@ class TestPartitioning:
         cluster = make_cluster()
         producer = Producer(cluster)
         ack = producer.send("t", "v", key="abc")
-        assert ack.partition.partition == _stable_hash("abc") % 4
+        assert ack.partition.partition == stable_hash("abc") % 4
 
     def test_keyless_round_robins(self):
         cluster = make_cluster()

@@ -72,6 +72,7 @@ EXPECTED_API = sorted(
 EXPECTED_PRODUCER_CONFIG_FIELDS = sorted(
     [
         "acks",
+        "compression",
         "partitioner",
         "linger_messages",
         "max_retries",
@@ -94,6 +95,7 @@ EXPECTED_CONSUMER_CONFIG_FIELDS = sorted(
         "client_id",
         "key_serde",
         "value_serde",
+        "prefetch",
     ]
 )
 
