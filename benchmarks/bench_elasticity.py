@@ -1,0 +1,189 @@
+"""Elasticity benchmark: lag-driven scale-out drain rate vs. fixed parallelism.
+
+Measures **simulated** time (the cost-model channel, bit-reproducible
+anywhere) across the claims the elasticity subsystem makes:
+
+* *elastic drains faster* — under a standing backlog, a lag-driven
+  :class:`ElasticJobController` (1..4 containers) drains the spike at least
+  2x faster in simulated time than the same job pinned at its
+  min-parallelism (1 container);
+* *scale-back happens* — once the backlog empties, the controller shrinks
+  below its max again instead of holding peak capacity;
+* *output transparency* — the elastically-scaled run emits byte-identical
+  records, at identical offsets, to a run at fixed max parallelism
+  (elasticity changes *when* records are processed, never *what*).
+
+Every run writes ``BENCH_elastic.json`` at the repo root with pass/fail
+checks so CI can smoke it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_elasticity.py [--quick] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.common.clock import SimClock  # noqa: E402
+from repro.elasticity import (  # noqa: E402
+    SCALE_IN,
+    SCALE_OUT,
+    ElasticJobController,
+    ScalingPolicy,
+)
+from repro.messaging.cluster import MessagingCluster  # noqa: E402
+from repro.messaging.producer import Producer  # noqa: E402
+from repro.processing.job import JobConfig, JobRunner  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_elastic.json"
+PARTITIONS = 4
+CPU_COST = 0.005   # 50 messages per 0.25 s quantum per container
+QUANTUM = 0.25
+
+
+class PassThrough:
+    """Emit-preserving task: output records carry the input's bytes."""
+
+    def process(self, record, collector):
+        collector.send("out", record.value, key=record.key,
+                       partition=record.partition, timestamp=record.timestamp)
+
+
+def build_cluster(messages: int) -> MessagingCluster:
+    cluster = MessagingCluster(num_brokers=3, clock=SimClock())
+    for topic in ("events", "out"):
+        cluster.create_topic(topic, num_partitions=PARTITIONS,
+                             replication_factor=3)
+    producer = Producer(cluster)
+    for i in range(messages):
+        producer.send("events", f"v{i}", key=f"k{i}",
+                      partition=i % PARTITIONS)
+    producer.flush()
+    cluster.run_until_replicated()
+    return cluster
+
+
+def make_controller(cluster: MessagingCluster, lo: int, hi: int):
+    runner = JobRunner(
+        JobConfig(name="drain", inputs=["events"], task_factory=PassThrough,
+                  cpu_cost_per_message=CPU_COST),
+        cluster,
+    )
+    policy = ScalingPolicy(min_containers=lo, max_containers=hi,
+                           scale_out_lag=100.0, scale_in_lag=10.0,
+                           cooldown=1.0)
+    return ElasticJobController(runner, policy, quantum=QUANTUM)
+
+
+def dump_output(cluster: MessagingCluster) -> list:
+    cluster.run_until_replicated()
+    out = []
+    for partition in range(PARTITIONS):
+        result = cluster.fetch("out", partition, 0, 1_000_000)
+        out.append([
+            (r.offset, r.key, r.value, r.timestamp) for r in result.records
+        ])
+    return out
+
+
+def run_arm(messages: int, lo: int, hi: int) -> dict:
+    """Drain a spike of ``messages`` with containers bounded to [lo, hi]."""
+    cluster = build_cluster(messages)
+    controller = make_controller(cluster, lo, hi)
+    start = cluster.clock.now()
+    controller.run_until_drained()
+    drain_s = cluster.clock.now() - start
+    actions = [event.action for event in controller.events]
+    return {
+        "containers": f"{lo}..{hi}",
+        "drain_simulated_s": drain_s,
+        "records": messages,
+        "records_per_simulated_s": messages / drain_s if drain_s else 0.0,
+        "scale_outs": actions.count(SCALE_OUT),
+        "scale_ins": actions.count(SCALE_IN),
+        "final_containers": controller.containers,
+        "timeline": controller.timeline(),
+        "_output": dump_output(cluster),
+    }
+
+
+def run_all(quick: bool) -> dict:
+    messages = 2800 if quick else 4000
+    print(f"bench_elasticity: {messages} msgs, {PARTITIONS} partitions, "
+          f"{QUANTUM / CPU_COST:.0f} msgs/quantum/container")
+    elastic = run_arm(messages, lo=1, hi=PARTITIONS)
+    fixed_min = run_arm(messages, lo=1, hi=1)
+    fixed_max = run_arm(messages, lo=PARTITIONS, hi=PARTITIONS)
+    transparent = elastic.pop("_output") == fixed_max.pop("_output")
+    fixed_min.pop("_output")
+    speedup = (
+        fixed_min["drain_simulated_s"] / elastic["drain_simulated_s"]
+        if elastic["drain_simulated_s"] else 0.0
+    )
+    for name, arm in (("elastic", elastic), ("fixed_min", fixed_min),
+                      ("fixed_max", fixed_max)):
+        print(f"  {name}: drain={arm['drain_simulated_s']:.2f}s "
+              f"rate={arm['records_per_simulated_s']:.0f} rec/s "
+              f"outs={arm['scale_outs']} ins={arm['scale_ins']} "
+              f"final={arm['final_containers']}")
+    print(f"  speedup elastic vs fixed-min: {speedup:.2f}x")
+    checks = {
+        "elastic_drains_2x_faster": speedup >= 2.0,
+        "scaled_out_under_load": elastic["scale_outs"] >= 1,
+        "scaled_back_after_drain": (
+            elastic["scale_ins"] >= 1
+            and elastic["final_containers"] < PARTITIONS
+        ),
+        "output_byte_identical_to_fixed_max": transparent,
+    }
+    return {
+        "schema": "bench_elastic/v1",
+        "quick": quick,
+        "python": platform.python_version(),
+        "config": {
+            "partitions": PARTITIONS,
+            "cpu_cost_per_message_s": CPU_COST,
+            "quantum_s": QUANTUM,
+            "messages": messages,
+        },
+        "elastic": elastic,
+        "fixed_min": fixed_min,
+        "fixed_max": fixed_max,
+        "speedup_vs_fixed_min": speedup,
+        "checks": checks,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small message counts for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    report = run_all(args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    failed = [name for name, ok in report["checks"].items() if not ok]
+    if failed:
+        print(f"FAIL: {', '.join(failed)}")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

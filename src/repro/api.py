@@ -14,6 +14,9 @@ Grouped by role:
   config dataclasses;
 * **processing** — :class:`JobConfig`, :class:`StoreConfig`,
   :class:`JobRunner`;
+* **elasticity** — the lag-driven autoscaling loop
+  (:class:`LagMonitor` → :class:`ScalingPolicy` →
+  :class:`ElasticJobController`) and the :class:`BackpressureValve`;
 * **observability** — the tracer and its install/query helpers;
 * **records / time** — the record types, :class:`TopicPartition`,
   :class:`SimClock`, :class:`CostModel`;
@@ -41,6 +44,15 @@ from repro.common.records import (
     TopicPartition,
 )
 from repro.core.liquid import Liquid
+from repro.elasticity import (
+    BackpressureValve,
+    ElasticJobController,
+    LagMonitor,
+    LagSample,
+    ScaleEvent,
+    ScalingDecision,
+    ScalingPolicy,
+)
 from repro.messaging.cluster import (
     ACKS_ALL,
     ACKS_LEADER,
@@ -86,6 +98,14 @@ __all__ = [
     "JobConfig",
     "StoreConfig",
     "JobRunner",
+    # elasticity
+    "LagMonitor",
+    "LagSample",
+    "ScalingPolicy",
+    "ScalingDecision",
+    "ElasticJobController",
+    "ScaleEvent",
+    "BackpressureValve",
     # observability
     "Tracer",
     "Span",

@@ -22,7 +22,14 @@ from repro.common.errors import ConfigError
 #: ``layer.component.metric`` (dot-separated, lower-case, digits and
 #: underscores allowed inside segments) — e.g.
 #: ``messaging.broker.messages_in`` or ``processing.job.enrich.processed``.
-METRIC_LAYERS = ("messaging", "storage", "processing", "core", "tools")
+METRIC_LAYERS = (
+    "messaging",
+    "storage",
+    "processing",
+    "elasticity",
+    "core",
+    "tools",
+)
 
 #: Full-name pattern for :func:`is_conventional`: at least three segments,
 #: starting with a known layer.
@@ -51,6 +58,23 @@ def metric_name(layer: str, component: str, *parts: str) -> str:
 def is_conventional(name: str) -> bool:
     """True if ``name`` follows the ``layer.component.metric`` convention."""
     return _CONVENTION.match(name) is not None
+
+
+_SEGMENT_CLEANER = re.compile(r"[^a-z0-9_]")
+
+
+def metric_segment(raw: str) -> str:
+    """Normalize a runtime identifier (group/job name) into a legal segment.
+
+    Consumer groups and jobs are named by users (``job-enrich``, ``Soak``),
+    but metric segments only allow ``[a-z0-9_]``.  Per-entity instruments
+    (e.g. the lag monitor's per-group gauges) funnel names through here so
+    the whole registry stays :func:`is_conventional`.
+    """
+    cleaned = _SEGMENT_CLEANER.sub("_", raw.lower())
+    if not cleaned.strip("_"):
+        raise ConfigError(f"cannot derive a metric segment from {raw!r}")
+    return cleaned
 
 
 class Counter:

@@ -1,0 +1,47 @@
+"""Elasticity layer: lag-driven autoscaling and end-to-end backpressure.
+
+The feedback loop *Reactive Liquid* (arXiv:1902.05968) proposes on top of
+Liquid's static resource isolation: sense consumer lag
+(:class:`LagMonitor`), decide with hysteresis (:class:`ScalingPolicy`),
+act by growing/shrinking a job's task containers at checkpoint boundaries
+(:class:`ElasticJobController`), and throttle intake when the bottleneck
+is downstream (:class:`BackpressureValve`).
+"""
+
+from repro.elasticity.backpressure import (
+    VALVE_CLOSED,
+    VALVE_OPEN,
+    VALVE_THROTTLED,
+    BackpressureValve,
+)
+from repro.elasticity.controller import (
+    ElasticJobController,
+    ScaleEvent,
+    StepReport,
+)
+from repro.elasticity.lagmonitor import Ewma, LagMonitor, LagSample
+from repro.elasticity.policy import (
+    SCALE_IN,
+    SCALE_NONE,
+    SCALE_OUT,
+    ScalingDecision,
+    ScalingPolicy,
+)
+
+__all__ = [
+    "BackpressureValve",
+    "ElasticJobController",
+    "Ewma",
+    "LagMonitor",
+    "LagSample",
+    "SCALE_IN",
+    "SCALE_NONE",
+    "SCALE_OUT",
+    "ScaleEvent",
+    "ScalingDecision",
+    "ScalingPolicy",
+    "StepReport",
+    "VALVE_CLOSED",
+    "VALVE_OPEN",
+    "VALVE_THROTTLED",
+]

@@ -1,0 +1,177 @@
+"""End-to-end backpressure: slow the intake instead of falling over.
+
+Scaling out (controller.py) is the right answer when capacity is the
+bottleneck; when the bottleneck is *downstream* — a lagging derived topic,
+a state store pressing against its container's memory quota — adding
+containers just moves the pile-up.  The :class:`BackpressureValve` is the
+complementary mechanism: it watches pressure signals and throttles the
+*source* by pausing the consumer's partitions and shrinking its poll fetch
+budget, propagating slack upstream the way Liquid's pull-based consumption
+model (§3.1) naturally allows — a paused puller simply stops pulling.
+
+The valve is a three-state machine with watermark hysteresis:
+
+* **open** — every signal below its low watermark: full fetch budget;
+* **throttled** — some signal between its watermarks: the budget shrinks
+  to ``throttle_fraction`` of normal;
+* **closed** — some signal at/over its high watermark: all assigned
+  partitions are paused and the budget is zero.
+
+Like everything in the stack it reads only the simulated world: signals
+are plain callables (a :class:`~repro.elasticity.lagmonitor.LagMonitor`
+for downstream lag, :meth:`IsolatedHost.memory_ratio
+<repro.processing.containers.IsolatedHost.memory_ratio>` for memory), so a
+valve-governed run replays deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import ConfigError
+from repro.common.metrics import metric_name, metric_segment
+from repro.elasticity.lagmonitor import LagMonitor
+
+#: Valve states.
+VALVE_OPEN = "open"
+VALVE_THROTTLED = "throttled"
+VALVE_CLOSED = "closed"
+
+
+class BackpressureValve:
+    """Pauses partitions and shrinks fetch budgets under pressure.
+
+    ``downstream`` is a :class:`LagMonitor` on the consumer *of this
+    consumer's output* (records in the derived topic not yet drained);
+    ``memory`` is any zero-argument callable returning used/quota, e.g.
+    ``lambda: host.memory_ratio("enrich")``.  At least one signal is
+    required — a valve with nothing to watch is a config error.
+    """
+
+    def __init__(
+        self,
+        consumer,
+        *,
+        downstream: LagMonitor | None = None,
+        lag_high: float = 1000.0,
+        lag_low: float = 200.0,
+        memory: Callable[[], float] | None = None,
+        memory_high: float = 0.9,
+        memory_low: float = 0.7,
+        throttle_fraction: float = 0.25,
+    ) -> None:
+        if downstream is None and memory is None:
+            raise ConfigError("valve needs a downstream monitor or memory signal")
+        if lag_low >= lag_high:
+            raise ConfigError(
+                f"hysteresis requires lag_low < lag_high ({lag_low} >= {lag_high})"
+            )
+        if memory_low >= memory_high:
+            raise ConfigError(
+                "hysteresis requires memory_low < memory_high "
+                f"({memory_low} >= {memory_high})"
+            )
+        if not 0 < throttle_fraction <= 1:
+            raise ConfigError(
+                f"throttle_fraction must be in (0, 1], got {throttle_fraction}"
+            )
+        self.consumer = consumer
+        self.downstream = downstream
+        self.lag_high = lag_high
+        self.lag_low = lag_low
+        self.memory = memory
+        self.memory_high = memory_high
+        self.memory_low = memory_low
+        self.throttle_fraction = throttle_fraction
+        self.state = VALVE_OPEN
+        self.last_lag = 0
+        self.last_memory_ratio = 0.0
+        segment = metric_segment(consumer.group or consumer.member_id)
+        metrics = consumer.cluster.metrics
+        self._c_pauses = metrics.counter(
+            metric_name("elasticity", "backpressure", segment, "pauses")
+        )
+        self._c_resumes = metrics.counter(
+            metric_name("elasticity", "backpressure", segment, "resumes")
+        )
+        self._g_throttle = metrics.gauge(
+            metric_name("elasticity", "backpressure", segment, "throttle")
+        )
+        self._g_throttle.set(1.0)
+
+    # -- the pressure check ----------------------------------------------------------
+
+    def check(self) -> str:
+        """Re-evaluate the signals and transition; returns the new state."""
+        if self.downstream is not None:
+            self.last_lag = self.downstream.observe().total_lag
+        if self.memory is not None:
+            self.last_memory_ratio = self.memory()
+        high = (
+            self.downstream is not None and self.last_lag >= self.lag_high
+        ) or (
+            self.memory is not None and self.last_memory_ratio >= self.memory_high
+        )
+        eased = (
+            self.downstream is None or self.last_lag <= self.lag_low
+        ) and (
+            self.memory is None or self.last_memory_ratio <= self.memory_low
+        )
+        if high:
+            target = VALVE_CLOSED
+        elif eased:
+            target = VALVE_OPEN
+        else:
+            target = VALVE_THROTTLED
+        self._transition(target)
+        return self.state
+
+    def _transition(self, target: str) -> None:
+        if target == self.state:
+            return
+        if target == VALVE_CLOSED:
+            self.consumer.pause(*self.consumer.assignment())
+            self._c_pauses.increment(1)
+        elif self.state == VALVE_CLOSED:
+            self.consumer.resume(*self.consumer.assignment())
+            self._c_resumes.increment(1)
+        self.state = target
+        self._g_throttle.set(self._budget_scale())
+
+    def _budget_scale(self) -> float:
+        if self.state == VALVE_CLOSED:
+            return 0.0
+        if self.state == VALVE_THROTTLED:
+            return self.throttle_fraction
+        return 1.0
+
+    def fetch_budget(self, requested: int | None = None) -> int:
+        """The poll budget the current state permits.
+
+        ``requested`` defaults to the consumer's ``max_poll_messages``.
+        Closed returns 0; throttled shrinks to ``throttle_fraction`` of the
+        request (at least one record, so progress never fully stalls on a
+        merely-throttled valve); open passes the request through.
+        """
+        base = (
+            requested if requested is not None else self.consumer.max_poll_messages
+        )
+        if self.state == VALVE_CLOSED:
+            return 0
+        if self.state == VALVE_THROTTLED:
+            return max(1, int(base * self.throttle_fraction))
+        return base
+
+    def poll(self, max_messages: int | None = None) -> list:
+        """Valve-governed poll: check pressure, then poll within budget."""
+        self.check()
+        budget = self.fetch_budget(max_messages)
+        if budget <= 0:
+            return []
+        return self.consumer.poll(budget)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BackpressureValve(state={self.state}, lag={self.last_lag}, "
+            f"memory={self.last_memory_ratio:.2f})"
+        )

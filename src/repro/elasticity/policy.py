@@ -1,0 +1,150 @@
+"""Scaling decisions with hysteresis, cooldowns, and bounds.
+
+The policy converts :class:`~repro.elasticity.lagmonitor.LagSample`
+observations into provision/deprovision decisions for a job's task
+containers.  Three guards keep the loop stable (the flapping failure mode
+the Kafka design-pattern survey, arXiv:2512.16146, warns lag-driven
+autoscalers about):
+
+* **hysteresis** — the scale-out threshold sits well above the scale-in
+  threshold, and a breach must persist for ``breach_observations``
+  consecutive samples before it counts;
+* **cooldown** — after any scale event the policy holds still for
+  ``cooldown`` simulated seconds, letting the new parallelism show up in
+  the lag signal before reacting again;
+* **bounds** — container counts are clamped to
+  ``[min_containers, max_containers]``.
+
+Every input is either constructor config or an explicit ``(sample, now)``
+argument — the policy never reads a clock or RNG of its own — so a decision
+sequence is a pure function of the observation sequence and replays
+byte-for-byte under the simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.elasticity.lagmonitor import LagSample
+
+#: Decision kinds.
+SCALE_NONE = "none"
+SCALE_OUT = "scale_out"
+SCALE_IN = "scale_in"
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One policy verdict at one simulated instant."""
+
+    at: float
+    action: str                 # SCALE_NONE / SCALE_OUT / SCALE_IN
+    from_containers: int
+    to_containers: int
+    reason: str
+
+    @property
+    def is_scale(self) -> bool:
+        return self.action != SCALE_NONE
+
+
+class ScalingPolicy:
+    """Lag-per-container thresholding with hysteresis and cooldown."""
+
+    def __init__(
+        self,
+        *,
+        min_containers: int = 1,
+        max_containers: int = 8,
+        scale_out_lag: float = 200.0,
+        scale_in_lag: float = 20.0,
+        breach_observations: int = 2,
+        cooldown: float = 2.0,
+        step: int = 1,
+    ) -> None:
+        if min_containers < 1:
+            raise ConfigError("min_containers must be >= 1")
+        if max_containers < min_containers:
+            raise ConfigError("max_containers must be >= min_containers")
+        if scale_in_lag >= scale_out_lag:
+            raise ConfigError(
+                "hysteresis requires scale_in_lag < scale_out_lag "
+                f"(got {scale_in_lag} >= {scale_out_lag})"
+            )
+        if breach_observations < 1:
+            raise ConfigError("breach_observations must be >= 1")
+        if cooldown < 0:
+            raise ConfigError("cooldown must be >= 0")
+        if step < 1:
+            raise ConfigError("step must be >= 1")
+        self.min_containers = min_containers
+        self.max_containers = max_containers
+        self.scale_out_lag = scale_out_lag
+        self.scale_in_lag = scale_in_lag
+        self.breach_observations = breach_observations
+        self.cooldown = cooldown
+        self.step = step
+        self._high_breaches = 0
+        self._low_breaches = 0
+        self._last_scale_at: float | None = None
+
+    # -- the decision function ------------------------------------------------------
+
+    def decide(
+        self, containers: int, sample: LagSample, now: float | None = None
+    ) -> ScalingDecision:
+        """Verdict for ``containers`` given ``sample`` (taken at ``sample.at``)."""
+        at = now if now is not None else sample.at
+        lag_per = sample.total_lag / max(1, containers)
+        if lag_per > self.scale_out_lag:
+            self._high_breaches += 1
+            self._low_breaches = 0
+        elif lag_per < self.scale_in_lag:
+            self._low_breaches += 1
+            self._high_breaches = 0
+        else:
+            self._high_breaches = 0
+            self._low_breaches = 0
+        if (
+            self._last_scale_at is not None
+            and at - self._last_scale_at < self.cooldown
+        ):
+            return self._none(at, containers, "cooldown")
+        if self._high_breaches >= self.breach_observations:
+            target = min(self.max_containers, containers + self.step)
+            if target > containers:
+                return self._scale(at, SCALE_OUT, containers, target,
+                                   f"lag/container {lag_per:.0f} > "
+                                   f"{self.scale_out_lag:.0f}")
+            return self._none(at, containers, "at max_containers")
+        if self._low_breaches >= self.breach_observations:
+            target = max(self.min_containers, containers - self.step)
+            if target >= containers:
+                return self._none(at, containers, "at min_containers")
+            # Shrinking must not immediately re-breach the out threshold.
+            if sample.total_lag / target > self.scale_out_lag:
+                return self._none(at, containers, "shrink would re-breach")
+            return self._scale(at, SCALE_IN, containers, target,
+                               f"lag/container {lag_per:.0f} < "
+                               f"{self.scale_in_lag:.0f}")
+        return self._none(at, containers, "within band")
+
+    def _scale(
+        self, at: float, action: str, current: int, target: int, reason: str
+    ) -> ScalingDecision:
+        self._last_scale_at = at
+        self._high_breaches = 0
+        self._low_breaches = 0
+        return ScalingDecision(at, action, current, target, reason)
+
+    @staticmethod
+    def _none(at: float, containers: int, reason: str) -> ScalingDecision:
+        return ScalingDecision(at, SCALE_NONE, containers, containers, reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ScalingPolicy([{self.min_containers}..{self.max_containers}], "
+            f"out>{self.scale_out_lag}, in<{self.scale_in_lag}, "
+            f"cooldown={self.cooldown})"
+        )

@@ -81,6 +81,7 @@ class Consumer:
         # One buffered fetch response per partition: the remainder of a
         # partially-drained poll, or a response fetched ahead of demand.
         self._buffers: dict[TopicPartition, FetchBuffer] = {}
+        self._paused: set[TopicPartition] = set()
         self._generation: int | None = None
         self._subscribed_topics: set[str] = set()
         self._rr = 0  # round-robin cursor over assigned partitions
@@ -121,6 +122,7 @@ class Consumer:
         self._buffers = {
             tp: buf for tp, buf in self._buffers.items() if tp in self._assignment
         }
+        self._paused = {tp for tp in self._paused if tp in self._assignment}
         self._seed_positions()
 
     def _seed_positions(self) -> None:
@@ -140,6 +142,28 @@ class Consumer:
 
     def assignment(self) -> list[TopicPartition]:
         return list(self._assignment)
+
+    # -- flow control ----------------------------------------------------------------
+
+    def pause(self, *partitions: TopicPartition) -> None:
+        """Stop fetching from ``partitions`` until :meth:`resume`.
+
+        Paused partitions stay assigned (and owned, under group membership);
+        :meth:`poll` simply spends none of its budget on them.  Buffered
+        responses are kept — they resume exactly where they stopped.
+        """
+        for tp in partitions:
+            self._require_assigned(tp)
+            self._paused.add(tp)
+
+    def resume(self, *partitions: TopicPartition) -> None:
+        """Undo :meth:`pause`; unknown or never-paused partitions are a no-op."""
+        for tp in partitions:
+            self._paused.discard(tp)
+
+    def paused(self) -> set[TopicPartition]:
+        """Partitions currently excluded from the poll fetch budget."""
+        return set(self._paused)
 
     # -- poll loop -------------------------------------------------------------------
 
@@ -170,6 +194,8 @@ class Consumer:
             if budget <= 0:
                 break
             tp = self._assignment[(self._rr + i) % n]
+            if tp in self._paused:
+                continue
             buffer = self._buffers.pop(tp, None)
             if buffer is not None and buffer.exhausted:
                 buffer = None
@@ -246,6 +272,8 @@ class Consumer:
         drains it, only fetch latency that did not overlap the application's
         processing time is charged (see :meth:`poll`).
         """
+        if tp in self._paused:
+            return
         try:
             result = self.cluster.fetch(
                 tp.topic, tp.partition, self._positions[tp],

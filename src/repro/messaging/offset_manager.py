@@ -164,6 +164,26 @@ class OffsetManager:
                 return commit
         return None
 
+    def consumption_deltas(
+        self, group: str, partition: TopicPartition
+    ) -> list[tuple[float, int]]:
+        """Per-commit progress: (elapsed seconds, offsets advanced) pairs.
+
+        Derived from consecutive commits in the history; the raw material
+        for consumption-rate estimates (an
+        :class:`~repro.elasticity.lagmonitor.Ewma` over ``advance/elapsed``
+        is the rate the lag report and autoscaler use).  Same-instant or
+        backward commits yield no delta.
+        """
+        deltas: list[tuple[float, int]] = []
+        history = self._history.get((group, partition), [])
+        for prev, cur in zip(history, history[1:]):
+            elapsed = cur.committed_at - prev.committed_at
+            advanced = cur.offset - prev.offset
+            if elapsed > 0 and advanced >= 0:
+                deltas.append((elapsed, advanced))
+        return deltas
+
     def find(
         self,
         group: str,

@@ -19,13 +19,15 @@ end-to-end latencies across multi-job dataflows are meaningful (E2).
 
 from __future__ import annotations
 
+import zlib
+
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.chaos.failpoints import SKIP, failpoint
 from repro.common.clock import SimClock
 from repro.common.errors import JobConfigError, TaskFailedError
-from repro.common.metrics import metric_name
+from repro.common.metrics import metric_name, metric_segment
 from repro.common.records import TRACE_HEADER, ConsumerRecord, TopicPartition
 from repro.messaging.cluster import ACKS_LEADER, MessagingCluster
 from repro.messaging.producer import Producer
@@ -127,17 +129,25 @@ class JobRunner:
         # Per-job metric names, precomputed once (convention:
         # layer.component.metric, with the job name as a sub-component).
         self._m_processed = metric_name(
-            "processing", "job", config.name, "processed"
+            "processing", "job", metric_segment(config.name), "processed"
         )
         self._m_record_age = metric_name(
-            "processing", "job", config.name, "record_age"
+            "processing", "job", metric_segment(config.name), "record_age"
         )
-        self.producer = Producer(cluster, acks=config.acks)
+        # Retry jitter seeded from the job name, not the process-global
+        # producer id: a job's send latencies must replay identically no
+        # matter how many producers other code created first.
+        jitter = zlib.crc32(config.name.encode())
+        self.producer = Producer(
+            cluster, acks=config.acks, retry_jitter_seed=jitter
+        )
         # Changelog writes are the job's state durability: they always use
         # acks=all, independent of the output acks, so a checkpointed input
         # offset can never outlive the state updates it implies.  (This is
         # the paper's "fall back to the highly-available messaging layer".)
-        self._changelog_producer = Producer(cluster, acks="all")
+        self._changelog_producer = Producer(
+            cluster, acks="all", retry_jitter_seed=jitter + 1
+        )
         self.checkpoints = CheckpointManager(cluster.offset_manager, config.name)
         self.cpu_cost = (
             config.cpu_cost_per_message
@@ -243,7 +253,48 @@ class JobRunner:
         self.cluster.tick(0.0)
         result = PollResult()
         for instance in self._tasks:
-            self._poll_task(instance, max_messages, result)
+            budget = (
+                max_messages
+                if max_messages is not None
+                else self.max_fetch_per_partition
+            )
+            self._poll_task(instance, budget, result)
+        if result.latency and self.auto_advance_clock and isinstance(self.clock, SimClock):
+            self.clock.advance(result.latency)
+        if result.records_processed:
+            self.metrics.counter(self._m_processed).increment(
+                result.records_processed
+            )
+        return result
+
+    def poll_tasks(
+        self, task_ids: list[int], max_messages: int | None = None
+    ) -> PollResult:
+        """One pass over a subset of tasks sharing one message budget.
+
+        This is one *container's* scheduling quantum in the elastic runtime:
+        the container hosts ``task_ids`` and can process at most
+        ``max_messages`` records this pass, however they are spread over its
+        tasks (served in task order, each draining what the previous left).
+        Unlike :meth:`poll_once`, the budget is shared, not per task.
+        """
+        if not self.running:
+            raise JobConfigError(f"job {self.config.name!r} is not running")
+        if failpoint("job.poll", job=self.config.name) is SKIP:
+            return PollResult()
+        self.cluster.tick(0.0)
+        result = PollResult()
+        budget = (
+            max_messages
+            if max_messages is not None
+            else self.max_fetch_per_partition
+        )
+        for task_id in task_ids:
+            if budget <= 0:
+                break
+            before = result.records_processed
+            self._poll_task(self._tasks[task_id], budget, result)
+            budget -= result.records_processed - before
         if result.latency and self.auto_advance_clock and isinstance(self.clock, SimClock):
             self.clock.advance(result.latency)
         if result.records_processed:
@@ -255,12 +306,9 @@ class JobRunner:
     def _poll_task(
         self,
         instance: _TaskInstance,
-        max_messages: int | None,
+        budget: int,
         result: PollResult,
     ) -> None:
-        budget = (
-            max_messages if max_messages is not None else self.max_fetch_per_partition
-        )
         collector = MessageCollector()
         tracer = current_tracer()
         for tp in instance.partitions:
@@ -437,6 +485,39 @@ class JobRunner:
         self.running = True
         if self.auto_advance_clock and isinstance(self.clock, SimClock):
             self.clock.advance(report.simulated_seconds)
+        return report
+
+    def migrate_task(self, task_id: int) -> "RecoveryReport":
+        """Restart one task as if it landed on a fresh container.
+
+        The elastic controller calls this at a checkpoint boundary when a
+        scale event moves a task between containers: the in-memory task
+        object and its stores are discarded, state is rebuilt from the
+        changelogs, and positions resume from the last checkpoint (which the
+        controller takes immediately before, so processing continues exactly
+        where it left off — no replay, no skipped records).  The caller is
+        responsible for charging ``report.simulated_seconds`` to the clock.
+        """
+        from repro.processing.recovery import restore_task_state  # local: avoid cycle
+
+        old = self._tasks[task_id]
+        stores = self._build_stores(task_id)
+        context = TaskContext(self.config.name, task_id, self.clock, stores)
+        task = self.config.task_factory()
+        instance = _TaskInstance(task_id, task, old.partitions, stores, context)
+        self._tasks[task_id] = instance
+        try:
+            report = restore_task_state(self, task_id)
+            self._seed_positions(instance)
+        except Exception:
+            # Mid-restore failure (e.g. changelog leader offline): the old
+            # container keeps the task; the controller may retry later.
+            self._tasks[task_id] = old
+            raise
+        instance.last_window_at = self.clock.now()
+        init = getattr(task, "init", None)
+        if callable(init):
+            init(context)
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

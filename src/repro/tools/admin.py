@@ -204,6 +204,45 @@ class AdminClient:
             for group in sorted(self.cluster.offset_manager.groups())
         }
 
+    def consumer_lag_report(self, alpha: float = 0.3) -> dict[str, dict[str, Any]]:
+        """Per-group lag standings with smoothed consumption rates.
+
+        For every known group: per-partition committed offset, end offset,
+        and lag, plus an EWMA consumption rate (records per simulated
+        second, smoothing factor ``alpha``) derived from the offset
+        manager's commit history — the operator view of the signal the
+        elasticity layer's autoscaler acts on, and the numbers behind an
+        ``all_group_lags`` summary when an on-call engineer needs to know
+        *which* partition is behind and whether the group is gaining.
+        """
+        from repro.elasticity.lagmonitor import Ewma
+
+        manager = self.cluster.offset_manager
+        report: dict[str, dict[str, Any]] = {}
+        for group in sorted(manager.groups()):
+            partitions: list[dict[str, Any]] = []
+            rate_ewma = Ewma(alpha)
+            for entry in self.consumer_lag(group):
+                for elapsed, advanced in manager.consumption_deltas(
+                    group, entry.partition
+                ):
+                    rate_ewma.update(advanced / elapsed)
+                partitions.append(
+                    {
+                        "topic": entry.partition.topic,
+                        "partition": entry.partition.partition,
+                        "committed_offset": entry.committed_offset,
+                        "end_offset": entry.end_offset,
+                        "lag": entry.lag,
+                    }
+                )
+            report[group] = {
+                "partitions": partitions,
+                "total_lag": sum(p["lag"] for p in partitions),
+                "consumption_rate": rate_ewma.value,
+            }
+        return report
+
     # -- health -------------------------------------------------------------------------------
 
     def health_check(self, max_group_lag: int = 1000) -> HealthReport:

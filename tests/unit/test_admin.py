@@ -122,3 +122,50 @@ class TestHealth:
         cluster.restart_broker(2)
         cluster.run_until_replicated()
         assert admin.health_check().healthy
+
+
+class TestConsumerLagReport:
+    def test_report_has_lag_and_rate(self):
+        cluster, admin = make_env()
+        producer = Producer(cluster, acks=ACKS_ALL)
+        for i in range(40):
+            producer.send("t", i, partition=0)
+        tp = TopicPartition("t", 0)
+        # Four commits, 10 offsets per simulated second.
+        for offset in (10, 20, 30):
+            cluster.offset_manager.commit("etl", tp, offset)
+            cluster.clock.advance(1.0)
+        report = admin.consumer_lag_report(alpha=1.0)
+        assert set(report) == {"etl"}
+        entry = report["etl"]
+        assert entry["total_lag"] == 10
+        assert entry["consumption_rate"] == pytest.approx(10.0)
+        partitions = entry["partitions"]
+        assert partitions == [
+            {
+                "topic": "t",
+                "partition": 0,
+                "committed_offset": 30,
+                "end_offset": 40,
+                "lag": 10,
+            }
+        ]
+
+    def test_idle_group_has_zero_rate(self):
+        cluster, admin = make_env()
+        producer = Producer(cluster, acks=ACKS_ALL)
+        for i in range(5):
+            producer.send("t", i, partition=0)
+        cluster.offset_manager.commit("idle", TopicPartition("t", 0), 0)
+        report = admin.consumer_lag_report()
+        assert report["idle"]["consumption_rate"] == 0.0
+        assert report["idle"]["total_lag"] == 5
+
+    def test_deltas_back_the_rate(self):
+        cluster, _admin = make_env()
+        tp = TopicPartition("t", 0)
+        cluster.offset_manager.commit("g", tp, 0)
+        cluster.clock.advance(2.0)
+        cluster.offset_manager.commit("g", tp, 10)
+        deltas = cluster.offset_manager.consumption_deltas("g", tp)
+        assert deltas == [(2.0, 10)]

@@ -15,6 +15,7 @@ from repro.common.metrics import (
     MetricsRegistry,
     is_conventional,
     metric_name,
+    metric_segment,
 )
 from repro.common.records import TopicPartition
 from repro.core.liquid import Liquid
@@ -56,9 +57,32 @@ class TestMetricNameHelper:
             "messaging",
             "storage",
             "processing",
+            "elasticity",
             "core",
             "tools",
         )
+
+
+class TestMetricSegment:
+    """Runtime identifiers (group/job names) sanitized at the choke point."""
+
+    def test_passthrough_for_legal_names(self):
+        assert metric_segment("enrich") == "enrich"
+        assert metric_segment("job_2") == "job_2"
+
+    def test_sanitizes_dashes_and_case(self):
+        assert metric_segment("job-enrich") == "job_enrich"
+        assert metric_segment("Consumer-3") == "consumer_3"
+
+    def test_sanitized_segment_builds_conventional_names(self):
+        name = metric_name(
+            "elasticity", "lag_monitor", metric_segment("job-enrich"), "lag"
+        )
+        assert is_conventional(name)
+
+    def test_rejects_unsalvageable_names(self):
+        with pytest.raises(ConfigError):
+            metric_segment("---")
 
 
 class _PassThrough:
@@ -109,6 +133,37 @@ def _exercise_tiered() -> MetricsRegistry:
     return cluster.metrics
 
 
+def _exercise_elasticity() -> MetricsRegistry:
+    """Run the elastic controller so the elasticity.* instruments register."""
+    from repro.elasticity import ElasticJobController, ScalingPolicy
+    from repro.processing.job import JobRunner
+
+    cluster = MessagingCluster(num_brokers=1)
+    cluster.create_topic("in", num_partitions=2, replication_factor=1)
+    cluster.create_topic("derived", num_partitions=2, replication_factor=1)
+    producer = Producer(cluster)
+    for i in range(400):
+        producer.send("in", {"i": i}, partition=i % 2)
+    producer.flush()
+    runner = JobRunner(
+        JobConfig(
+            name="elastic-job",  # dash on purpose: exercises metric_segment
+            inputs=["in"],
+            task_factory=_PassThrough,
+            cpu_cost_per_message=0.005,
+        ),
+        cluster,
+    )
+    controller = ElasticJobController(
+        runner,
+        ScalingPolicy(max_containers=2, scale_out_lag=50.0, scale_in_lag=5.0,
+                      cooldown=0.5),
+        quantum=0.25,
+    )
+    controller.run_until_drained()
+    return cluster.metrics
+
+
 class TestRegistryConvention:
     def test_full_stack_registers_only_conventional_names(self):
         registry = _exercise_stack()
@@ -135,3 +190,11 @@ class TestRegistryConvention:
         names = _exercise_stack().names()
         assert "messaging.producer.compression_ratio" in names
         assert "messaging.cluster.bytes_on_wire" in names
+
+    def test_elasticity_names_are_conventional(self):
+        names = _exercise_elasticity().names()
+        assert "elasticity.controller.elastic_job.containers" in names
+        assert "elasticity.controller.elastic_job.scale_outs" in names
+        assert "elasticity.lag_monitor.job_elastic_job.lag" in names
+        offenders = [n for n in names if not is_conventional(n)]
+        assert offenders == []

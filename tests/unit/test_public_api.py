@@ -37,6 +37,14 @@ EXPECTED_API = sorted(
         "JobConfig",
         "StoreConfig",
         "JobRunner",
+        # elasticity
+        "LagMonitor",
+        "LagSample",
+        "ScalingPolicy",
+        "ScalingDecision",
+        "ElasticJobController",
+        "ScaleEvent",
+        "BackpressureValve",
         # observability
         "Tracer",
         "Span",
