@@ -44,6 +44,12 @@ from repro.storage.log import LogConfig, PartitionLog  # noqa: E402
 from repro.messaging.cluster import ACKS_LEADER, MessagingCluster  # noqa: E402
 from repro.messaging.consumer import Consumer  # noqa: E402
 from repro.messaging.producer import Producer  # noqa: E402
+from repro.processing.job import (  # noqa: E402
+    AT_LEAST_ONCE,
+    EXACTLY_ONCE,
+    JobConfig,
+    JobRunner,
+)
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_hotpath.json"
 
@@ -317,6 +323,68 @@ def bench_fetch_prefetch(messages: int, repeats: int) -> dict:
     }
 
 
+class _BenchTagTask:
+    """Re-emit each input on its own partition — the §4.3 pipeline kernel."""
+
+    def process(self, record, collector):
+        collector.send(
+            "out", record.value, key=record.key, partition=record.partition
+        )
+
+
+def _job_run(messages: int, guarantee: str) -> tuple[float, float]:
+    """Drain ``messages`` through a pipeline job under ``guarantee``;
+    returns (wall seconds, simulated seconds charged to the job clock)."""
+    cluster = MessagingCluster(num_brokers=3, clock=SimClock())
+    cluster.create_topic("in", num_partitions=2, replication_factor=3)
+    cluster.create_topic("out", num_partitions=2, replication_factor=3)
+    producer = Producer(cluster, acks=ACKS_LEADER, linger_messages=LINGER)
+    for i in range(messages):
+        producer.send("in", {"i": i}, key=f"k{i % 100}", partition=i % 2)
+    producer.flush()
+    cluster.run_until_replicated()
+    runner = JobRunner(
+        JobConfig(
+            name="bench",
+            inputs=["in"],
+            task_factory=_BenchTagTask,
+            checkpoint_interval=500,
+            processing_guarantee=guarantee,
+        ),
+        cluster,
+    )
+    sim_start = cluster.clock.now()
+    start = time.perf_counter()
+    runner.run_until_idle()
+    return time.perf_counter() - start, cluster.clock.now() - sim_start
+
+
+def bench_exactly_once(messages: int, repeats: int) -> dict:
+    """The same pipeline job at-least-once vs. exactly-once.
+
+    The headline number is ``eo_overhead``: the exactly-once arm's simulated
+    latency over the at-least-once arm's on identical input (acceptance
+    ceiling <=1.5x — transactions stage every output at acks=all and pay
+    commit markers at each checkpoint, but must not dominate the pipeline).
+    """
+    best_alo, best_eo = float("inf"), float("inf")
+    sim_alo = sim_eo = 0.0
+    for _ in range(repeats):
+        wall, sim_alo = _job_run(messages, AT_LEAST_ONCE)
+        best_alo = min(best_alo, wall)
+        wall, sim_eo = _job_run(messages, EXACTLY_ONCE)
+        best_eo = min(best_eo, wall)
+    return {
+        "messages": messages,
+        "at_least_once_s": round(best_alo, 6),
+        "exactly_once_s": round(best_eo, 6),
+        "msgs_per_s": round(messages / best_eo),
+        "simulated_alo_s": round(sim_alo, 9),
+        "simulated_eo_s": round(sim_eo, 9),
+        "eo_overhead": round(sim_eo / max(sim_alo, 1e-12), 3),
+    }
+
+
 def _compare(messages: int, per_record_s: float, batched_s: float,
              simulated_s: float) -> dict:
     return {
@@ -342,8 +410,14 @@ def run_all(quick: bool) -> dict:
         ("pipeline_e2e", bench_pipeline),
         ("compress_pipeline", bench_compress_pipeline),
         ("fetch_prefetch", bench_fetch_prefetch),
+        ("exactly_once_job", bench_exactly_once),
     ):
-        if name in ("pipeline_e2e", "compress_pipeline", "fetch_prefetch"):
+        if name in (
+            "pipeline_e2e",
+            "compress_pipeline",
+            "fetch_prefetch",
+            "exactly_once_job",
+        ):
             count = max(messages // 5, 2_000)
         else:
             count = messages
@@ -419,6 +493,11 @@ def main(argv: list[str] | None = None) -> int:
              "(none vs zlib) meets this floor",
     )
     parser.add_argument(
+        "--max-eo-overhead", type=float, default=None,
+        help="fail if exactly-once simulated latency exceeds this multiple "
+             "of at-least-once on the pipeline kernel (acceptance: 1.5)",
+    )
+    parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
         help="recorded report to compare throughput against "
              "(e.g. the committed BENCH_hotpath.json)",
@@ -447,6 +526,13 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: wire reduction {reduction}x below floor "
             f"{args.min_wire_reduction}x"
+        )
+        return 1
+    overhead = report["kernels"]["exactly_once_job"]["eo_overhead"]
+    if args.max_eo_overhead is not None and overhead > args.max_eo_overhead:
+        print(
+            f"FAIL: exactly-once overhead {overhead}x above ceiling "
+            f"{args.max_eo_overhead}x"
         )
         return 1
     if args.baseline is not None:

@@ -34,7 +34,9 @@ from repro.common.errors import (
     LiquidError,
     MessagingError,
     ProcessingError,
+    ProducerFencedError,
     SerdeError,
+    TransactionError,
 )
 from repro.common.metrics import MetricsRegistry, metric_name
 from repro.common.records import (
@@ -67,6 +69,7 @@ from repro.messaging.config import (
 )
 from repro.messaging.consumer import Consumer
 from repro.messaging.producer import Producer
+from repro.messaging.transactions import TransactionalProducer
 from repro.observability.trace import (
     Span,
     TraceContext,
@@ -76,7 +79,13 @@ from repro.observability.trace import (
     tracing,
     uninstall_tracer,
 )
-from repro.processing.job import JobConfig, JobRunner, StoreConfig
+from repro.processing.job import (
+    AT_LEAST_ONCE,
+    EXACTLY_ONCE,
+    JobConfig,
+    JobRunner,
+    StoreConfig,
+)
 from repro.tools.admin import AdminClient
 from repro.tools.tracequery import SpanNode, TraceQuery, render_timeline
 
@@ -94,10 +103,13 @@ __all__ = [
     "ACKS_ALL",
     "PARTITIONER_HASH",
     "PARTITIONER_ROUND_ROBIN",
+    "TransactionalProducer",
     # processing
     "JobConfig",
     "StoreConfig",
     "JobRunner",
+    "AT_LEAST_ONCE",
+    "EXACTLY_ONCE",
     # elasticity
     "LagMonitor",
     "LagSample",
@@ -135,4 +147,6 @@ __all__ = [
     "ProcessingError",
     "SerdeError",
     "AuthorizationError",
+    "TransactionError",
+    "ProducerFencedError",
 ]

@@ -21,12 +21,23 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import ConfigError, TopicNotFoundError
+from repro.common.errors import (
+    ConfigError,
+    OffsetOutOfRangeError,
+    TopicNotFoundError,
+)
 from repro.common.records import TopicPartition
 from repro.messaging.cluster import ACKS_LEADER, MessagingCluster
+from repro.messaging.config import ISOLATION_LEVELS
 
 #: Default cross-datacenter round-trip time (continental WAN).
 DEFAULT_WAN_RTT = 30e-3
+
+#: Source-side transaction/idempotence bookkeeping stripped on re-produce:
+#: a read_committed mirror only ever sees committed data, so carrying the
+#: ``__txn`` flag over would open a phantom transaction on the target that
+#: no marker ever closes (wedging the target's LSO forever).
+_TXN_HEADERS = ("__txn", "__pid", "__seq")
 
 
 @dataclass
@@ -36,6 +47,9 @@ class MirrorStats:
     records_mirrored: int = 0
     simulated_seconds: float = 0.0
     per_topic: dict[str, int] = field(default_factory=dict)
+    #: Records lost to a source retention sweep below the mirror position
+    #: (the mirror reseats at the beginning offset instead of wedging).
+    records_skipped: int = 0
 
 
 class MirrorMaker:
@@ -50,17 +64,25 @@ class MirrorMaker:
         wan_rtt: float = DEFAULT_WAN_RTT,
         batch: int = 500,
         acks: str = ACKS_LEADER,
+        isolation: str = "read_committed",
     ) -> None:
         if source is target:
             raise ConfigError("source and target must be different clusters")
         if wan_rtt < 0:
             raise ConfigError("wan_rtt must be >= 0")
+        if isolation not in ISOLATION_LEVELS:
+            raise ConfigError(
+                f"isolation must be one of {ISOLATION_LEVELS}, got {isolation!r}"
+            )
         self.source = source
         self.target = target
         self.name = name
         self.wan_rtt = wan_rtt
         self.batch = batch
         self.acks = acks
+        # read_committed by default: re-producing aborted transactional
+        # records would launder them into committed data on the target.
+        self.isolation = isolation
         self.group = f"__mirror-{name}"
         self._topics = list(topics) if topics is not None else None
         self._positions: dict[TopicPartition, int] = {}
@@ -115,11 +137,39 @@ class MirrorMaker:
         position = self._positions.get(tp)
         if position is None:
             position = self._seed_position(tp)
-        result = self.source.fetch(tp.topic, tp.partition, position, self.batch)
+        try:
+            result = self.source.fetch(
+                tp.topic, tp.partition, position, self.batch,
+                isolation=self.isolation,
+            )
+        except OffsetOutOfRangeError:
+            # A source retention sweep deleted records below our position
+            # (or truncated above it).  Reseat at the earliest retained
+            # offset and account for what the sweep cost us.
+            reseated = self.source.beginning_offset(tp)
+            stats.records_skipped += max(0, reseated - position)
+            self._positions[tp] = reseated
+            self.source.offset_manager.commit(
+                self.group, tp, reseated, {"mirror": self.name, "reseated": True}
+            )
+            result = self.source.fetch(
+                tp.topic, tp.partition, reseated, self.batch,
+                isolation=self.isolation,
+            )
+            position = reseated
         stats.simulated_seconds += result.latency
         if result.records:
             entries = [
-                (r.key, r.value, r.timestamp, dict(r.headers))
+                (
+                    r.key,
+                    r.value,
+                    r.timestamp,
+                    {
+                        k: v
+                        for k, v in r.headers.items()
+                        if k not in _TXN_HEADERS
+                    },
+                )
                 for r in result.records
             ]
             batch_bytes = sum(r.size for r in result.records)

@@ -38,6 +38,22 @@ class CheckpointManager:
         for tp, offset in positions.items():
             self.offset_manager.commit(self.group, tp, offset, metadata)
 
+    def commit_transactional(
+        self,
+        producer: Any,
+        positions: dict[TopicPartition, int],
+        metadata: dict[str, Any] | None = None,
+    ) -> None:
+        """Stage this checkpoint inside ``producer``'s open transaction.
+
+        Exactly-once jobs never commit positions directly: the offsets ride
+        the task's transaction (``send_offsets_to_transaction``) and become
+        visible atomically with the task's outputs at commit.
+        """
+        producer.send_offsets_to_transaction(
+            self.group, dict(positions), metadata
+        )
+
     def fetch(self, tp: TopicPartition) -> OffsetCommit | None:
         return self.offset_manager.fetch(self.group, tp)
 

@@ -31,6 +31,7 @@ from repro.common.metrics import metric_name, metric_segment
 from repro.common.records import TRACE_HEADER, ConsumerRecord, TopicPartition
 from repro.messaging.cluster import ACKS_LEADER, MessagingCluster
 from repro.messaging.producer import Producer
+from repro.messaging.transactions import TransactionalProducer
 from repro.observability.trace import TraceContext, Tracer, current_tracer
 from repro.messaging.topic import TopicConfig
 from repro.storage.log import LogConfig
@@ -38,6 +39,18 @@ from repro.processing.checkpoint import CheckpointManager
 from repro.processing.state import KeyValueState, changelog_topic_name
 from repro.processing.store import make_store
 from repro.processing.task import Emit, MessageCollector, StreamTask, TaskContext
+
+
+#: Processing guarantees a job may declare (§4.3's "ongoing effort").
+AT_LEAST_ONCE = "at_least_once"
+EXACTLY_ONCE = "exactly_once"
+PROCESSING_GUARANTEES = (AT_LEAST_ONCE, EXACTLY_ONCE)
+
+
+def transactional_id(job_name: str, task_id: int) -> str:
+    """Stable transactional id of one task: restarts of the same task slot
+    re-initialize the same id, which is what fences its zombies."""
+    return f"{job_name}-{task_id}"
 
 
 @dataclass(frozen=True)
@@ -65,14 +78,26 @@ class JobConfig:
     cpu_cost_per_message: float | None = None  # defaults to the cost model's
     changelog_replication: int = 1
     changelog_segment_messages: int = 1000  # smaller = compaction kicks in sooner
+    processing_guarantee: str = AT_LEAST_ONCE
+    #: Exactly-once only: staged records per partition before the task's
+    #: transactional producer ships a batch (the rest flush at commit).
+    #: Batching amortizes the acks=all round trip each staged write pays.
+    txn_linger_messages: int = 16
 
     def __post_init__(self) -> None:
         if not self.name:
             raise JobConfigError("job name must be non-empty")
+        if self.processing_guarantee not in PROCESSING_GUARANTEES:
+            raise JobConfigError(
+                f"processing_guarantee must be one of {PROCESSING_GUARANTEES}, "
+                f"got {self.processing_guarantee!r}"
+            )
         if not self.inputs:
             raise JobConfigError(f"job {self.name!r} declares no inputs")
         if self.checkpoint_interval <= 0:
             raise JobConfigError("checkpoint_interval must be > 0")
+        if self.txn_linger_messages < 1:
+            raise JobConfigError("txn_linger_messages must be >= 1")
         if self.window_interval is not None and self.window_interval <= 0:
             raise JobConfigError("window_interval must be > 0")
         names = [s.name for s in self.stores]
@@ -138,6 +163,16 @@ class JobRunner:
         # producer id: a job's send latencies must replay identically no
         # matter how many producers other code created first.
         jitter = zlib.crc32(config.name.encode())
+        self.exactly_once = config.processing_guarantee == EXACTLY_ONCE
+        # Under exactly-once every read in the job — inputs and changelog
+        # restores — is read_committed, so neither open nor aborted
+        # transactions (our own or an upstream job's) are ever observed.
+        self.isolation = (
+            "read_committed" if self.exactly_once else "read_uncommitted"
+        )
+        #: task_id -> fenced transactional producer (exactly-once only).
+        #: Rebuilt by ``_build_tasks`` so restart and migration epoch-bump.
+        self._txn_producers: dict[int, TransactionalProducer] = {}
         self.producer = Producer(
             cluster, acks=config.acks, retry_jitter_seed=jitter
         )
@@ -191,13 +226,29 @@ class JobRunner:
     def _build_tasks(self) -> None:
         self._tasks = []
         for task_id in range(self.num_tasks):
+            if self.exactly_once:
+                # Re-initializing the stable id bumps the epoch: zombies of
+                # the previous incarnation are fenced, an undecided crashed
+                # transaction aborts, a decided one rolls forward — all
+                # *before* the changelog restore reads read_committed.
+                self._txn_producers[task_id] = TransactionalProducer(
+                    self.cluster,
+                    transactional_id(self.config.name, task_id),
+                    linger_messages=self.config.txn_linger_messages,
+                )
             partitions = [
                 TopicPartition(topic, task_id)
                 for topic in self.config.inputs
                 if task_id < len(self.cluster.partitions_of(topic))
             ]
             stores = self._build_stores(task_id)
-            context = TaskContext(self.config.name, task_id, self.clock, stores)
+            context = TaskContext(
+                self.config.name,
+                task_id,
+                self.clock,
+                stores,
+                processing_guarantee=self.config.processing_guarantee,
+            )
             task = self.config.task_factory()
             instance = _TaskInstance(task_id, task, partitions, stores, context)
             self._seed_positions(instance)
@@ -215,9 +266,17 @@ class JobRunner:
                 topic = changelog_topic_name(self.config.name, store_config.name)
 
                 def append(key: Any, value: Any, _topic=topic, _p=task_id) -> None:
-                    self._changelog_producer.send(
-                        _topic, value, key=_key_wrap(key), partition=_p
-                    )
+                    if self.exactly_once:
+                        # State updates join the task's transaction: a
+                        # changelog entry is only ever restored if the
+                        # outputs and offsets it belongs with committed.
+                        self._txn_producer(_p).send(
+                            _topic, value, key=_key_wrap(key), partition=_p
+                        )
+                    else:
+                        self._changelog_producer.send(
+                            _topic, value, key=_key_wrap(key), partition=_p
+                        )
 
             stores[store_config.name] = KeyValueState(
                 store_config.name,
@@ -234,6 +293,18 @@ class JobRunner:
                 instance.positions[tp] = commit.offset
             else:
                 instance.positions[tp] = self.cluster.beginning_offset(tp)
+
+    def _txn_producer(self, task_id: int) -> TransactionalProducer:
+        """The task's transactional producer, with a transaction open.
+
+        Transactions begin lazily at the first write (emit or changelog
+        entry) after a commit and stay open until the next checkpoint
+        boundary — the checkpoint *is* the commit.
+        """
+        producer = self._txn_producers[task_id]
+        if not producer.in_transaction:
+            producer.begin()
+        return producer
 
     # -- processing loop --------------------------------------------------------------
 
@@ -315,7 +386,8 @@ class JobRunner:
             if budget <= 0:
                 break
             fetched = self.cluster.fetch(
-                tp.topic, tp.partition, instance.positions[tp], budget
+                tp.topic, tp.partition, instance.positions[tp], budget,
+                isolation=self.isolation,
             )
             result.latency += fetched.latency
             for record in fetched.records:
@@ -325,7 +397,7 @@ class JobRunner:
                 # Drain per record (not per pass) so each emit can be
                 # attributed to the input record that caused it — derived-feed
                 # records continue the input's trace under its process span.
-                self._send_emits(collector.drain(), ctx, result)
+                self._send_emits(instance, collector.drain(), ctx, result)
             if fetched.records:
                 budget -= len(fetched.records)
             instance.positions[tp] = max(
@@ -337,6 +409,7 @@ class JobRunner:
 
     def _send_emits(
         self,
+        instance: _TaskInstance,
         emits: list[Emit],
         ctx: TraceContext | None,
         result: PollResult,
@@ -345,14 +418,26 @@ class JobRunner:
             headers = emit.headers
             if ctx is not None:
                 headers = {**(headers or {}), TRACE_HEADER: ctx}
-            ack = self.producer.send(
-                emit.topic,
-                emit.value,
-                key=emit.key,
-                partition=emit.partition,
-                timestamp=emit.timestamp,
-                headers=headers,
-            )
+            if self.exactly_once:
+                # Staged inside the task's transaction: invisible to
+                # read_committed readers until the checkpoint commits.
+                ack = self._txn_producer(instance.task_id).send(
+                    emit.topic,
+                    emit.value,
+                    key=emit.key,
+                    partition=emit.partition,
+                    timestamp=emit.timestamp,
+                    headers=headers,
+                )
+            else:
+                ack = self.producer.send(
+                    emit.topic,
+                    emit.value,
+                    key=emit.key,
+                    partition=emit.partition,
+                    timestamp=emit.timestamp,
+                    headers=headers,
+                )
             if ack is not None:
                 result.latency += ack.latency
         result.records_emitted += len(emits)
@@ -418,16 +503,34 @@ class JobRunner:
             collector = MessageCollector()
             window(collector)
             # Window emits aggregate many inputs; they start fresh traces.
-            self._send_emits(collector.drain(), None, result)
+            self._send_emits(instance, collector.drain(), None, result)
 
     def _checkpoint_task(self, instance: _TaskInstance) -> None:
-        self.checkpoints.commit(
-            dict(instance.positions),
-            metadata={
-                "software_version": self.config.version,
-                "task_id": instance.task_id,
-            },
+        # Armed raising, this is a crash *before* the checkpoint decided
+        # anything: at-least-once replays (duplicates), exactly-once aborts.
+        failpoint(
+            "job.checkpoint", job=self.config.name, task=instance.task_id
         )
+        metadata = {
+            "software_version": self.config.version,
+            "task_id": instance.task_id,
+        }
+        if self.exactly_once:
+            producer = self._txn_producers[instance.task_id]
+            if producer.in_transaction:
+                # The checkpoint IS the transaction commit: outputs,
+                # changelog entries, and input offsets become visible
+                # atomically (or not at all).
+                self.checkpoints.commit_transactional(
+                    producer, instance.positions, metadata
+                )
+                producer.commit()
+            else:
+                # Nothing was written since the last commit (the task
+                # filtered everything): positions alone commit directly.
+                self.checkpoints.commit(dict(instance.positions), metadata)
+        else:
+            self.checkpoints.commit(dict(instance.positions), metadata)
         instance.records_since_checkpoint = 0
 
     def checkpoint(self) -> None:
@@ -443,6 +546,10 @@ class JobRunner:
             total += result.records_processed
             if result.records_processed == 0:
                 break
+        if self.exactly_once:
+            # Commit the trailing open transactions so everything the run
+            # produced is visible to read_committed readers downstream.
+            self.checkpoint()
         return total
 
     # -- backlog / introspection ---------------------------------------------------------
@@ -501,8 +608,31 @@ class JobRunner:
         from repro.processing.recovery import restore_task_state  # local: avoid cycle
 
         old = self._tasks[task_id]
+        if self.exactly_once:
+            producer = self._txn_producers[task_id]
+            if producer.in_transaction:
+                # Commit-or-abort before the task moves: the new container
+                # must not inherit an open transaction.  Everything staged
+                # so far is fully processed work, so it commits — together
+                # with the positions that account for it.
+                self.checkpoints.commit_transactional(
+                    producer,
+                    old.positions,
+                    {
+                        "software_version": self.config.version,
+                        "task_id": task_id,
+                    },
+                )
+                producer.commit()
+                old.records_since_checkpoint = 0
         stores = self._build_stores(task_id)
-        context = TaskContext(self.config.name, task_id, self.clock, stores)
+        context = TaskContext(
+            self.config.name,
+            task_id,
+            self.clock,
+            stores,
+            processing_guarantee=self.config.processing_guarantee,
+        )
         task = self.config.task_factory()
         instance = _TaskInstance(task_id, task, old.partitions, stores, context)
         self._tasks[task_id] = instance
@@ -514,6 +644,14 @@ class JobRunner:
             # container keeps the task; the controller may retry later.
             self._tasks[task_id] = old
             raise
+        if self.exactly_once:
+            # Fresh incarnation on the new container: the epoch bump fences
+            # any zombie writes from the task's previous home.
+            self._txn_producers[task_id] = TransactionalProducer(
+                self.cluster,
+                transactional_id(self.config.name, task_id),
+                linger_messages=self.config.txn_linger_messages,
+            )
         instance.last_window_at = self.clock.now()
         init = getattr(task, "init", None)
         if callable(init):

@@ -31,8 +31,14 @@ def restore_state(
     task_id: int,
     state,
     batch: int = 500,
+    isolation: str = "read_uncommitted",
 ) -> RecoveryReport:
-    """Rebuild one task's store by replaying its changelog partition."""
+    """Rebuild one task's store by replaying its changelog partition.
+
+    Exactly-once jobs restore with ``read_committed``: their changelog
+    writes are transactional, so entries of an aborted (crashed) transaction
+    must not resurrect into the rebuilt store.
+    """
     report = RecoveryReport()
     topic = changelog_topic_name(job_name, store_name)
     tp = TopicPartition(topic, task_id)
@@ -43,7 +49,7 @@ def restore_state(
     end = cluster.end_offset(tp)
     state.clear()
     while offset < end:
-        result = cluster.fetch(topic, task_id, offset, batch)
+        result = cluster.fetch(topic, task_id, offset, batch, isolation=isolation)
         report.simulated_seconds += result.latency
         for record in result.records:
             state.restore_entry(record.key, record.value)
@@ -74,6 +80,7 @@ def restore_task_state(runner, task_id: int) -> RecoveryReport:
             store_config.name,
             task_id,
             instance.stores[store_config.name],
+            isolation=getattr(runner, "isolation", "read_uncommitted"),
         )
         total.records_replayed += report.records_replayed
         total.simulated_seconds += report.simulated_seconds
@@ -100,6 +107,7 @@ def restore_job_state(runner) -> RecoveryReport:
                 store_config.name,
                 instance.task_id,
                 instance.stores[store_config.name],
+                isolation=getattr(runner, "isolation", "read_uncommitted"),
             )
             total.records_replayed += report.records_replayed
             total.simulated_seconds += report.simulated_seconds

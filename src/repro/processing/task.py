@@ -72,11 +72,18 @@ class TaskContext:
         task_id: int,
         clock: Clock,
         stores: dict[str, KeyValueState],
+        processing_guarantee: str = "at_least_once",
     ) -> None:
         self.job_name = job_name
         self.task_id = task_id
         self.clock = clock
+        self.processing_guarantee = processing_guarantee
         self._stores = stores
+
+    @property
+    def exactly_once(self) -> bool:
+        """True when this task runs under the exactly-once guarantee."""
+        return self.processing_guarantee == "exactly_once"
 
     def store(self, name: str) -> KeyValueState:
         """Look up a state store declared in the job config."""

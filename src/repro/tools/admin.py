@@ -261,6 +261,43 @@ class AdminClient:
                     report.lagging_groups.append(entry)
         return report
 
+    # -- transactions -------------------------------------------------------------------------------
+
+    def transaction_report(self) -> dict[str, Any]:
+        """Open transactions and the LSO lag they impose, per partition.
+
+        ``open_transactions`` is the coordinator's view (id, producer id,
+        epoch, touched partitions, staged offset count); ``lso_lag`` maps
+        every partition whose last stable offset trails its high watermark —
+        records a ``read_committed`` consumer cannot see yet because an
+        open transaction holds them back.  Lifecycle counters come from the
+        ``messaging.transactions.*`` instruments.
+        """
+        from repro.messaging.transactions import get_transaction_coordinator
+
+        coordinator = get_transaction_coordinator(self.cluster)
+        lso_lag: dict[str, int] = {}
+        for topic in self.cluster.topics():
+            for tp in self.cluster.partitions_of(topic):
+                state = self.cluster.controller.partition_state(tp)
+                if state.leader is None:
+                    continue
+                replica = self.cluster.broker(state.leader).replica(tp)
+                lag = replica.high_watermark - replica.last_stable_offset
+                if lag > 0:
+                    lso_lag[str(tp)] = lag
+        metrics = self.cluster.metrics
+        counters = {
+            name.rsplit(".", 1)[-1]: metrics.counter(name).value
+            for name in metrics.names()
+            if name.startswith("messaging.transactions.")
+        }
+        return {
+            "open_transactions": coordinator.open_transactions(),
+            "lso_lag": dict(sorted(lso_lag.items())),
+            "counters": counters,
+        }
+
     # -- tracing ------------------------------------------------------------------------------------
 
     def stage_latency_report(

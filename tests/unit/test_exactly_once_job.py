@@ -1,0 +1,289 @@
+"""Unit tests for exactly-once jobs: the transactional read-process-write
+loop wired through the job runner (§3.2 + §4.3)."""
+
+import pytest
+
+from repro.chaos.failpoints import registry
+from repro.common.clock import SimClock
+from repro.common.errors import JobConfigError, ProducerFencedError
+from repro.common.records import TopicPartition
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.producer import Producer
+from repro.processing.job import (
+    AT_LEAST_ONCE,
+    EXACTLY_ONCE,
+    JobConfig,
+    JobRunner,
+    StoreConfig,
+    transactional_id,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    registry().disarm_all()
+    yield
+    registry().disarm_all()
+
+
+class TagTask:
+    """Emit each input back out on the same partition, tagged with the
+    input offset — duplicates are then directly countable downstream."""
+
+    def process(self, record, collector):
+        collector.send(
+            "out",
+            {"offset": record.offset, "value": record.value},
+            key=record.key,
+            partition=record.partition,
+        )
+
+
+class CountingTask:
+    def init(self, context):
+        self.counts = context.store("counts")
+
+    def process(self, record, collector):
+        n = self.counts.get_or_default(record.key, 0) + 1
+        self.counts.put(record.key, n)
+        collector.send("out", {"k": record.key, "n": n},
+                       partition=record.partition)
+
+
+def make_env(partitions=2, n=20):
+    clock = SimClock()
+    cluster = MessagingCluster(num_brokers=1, clock=clock)
+    cluster.create_topic("in", num_partitions=partitions, replication_factor=1)
+    cluster.create_topic("out", num_partitions=partitions, replication_factor=1)
+    producer = Producer(cluster)
+    for i in range(n):
+        producer.send("in", {"i": i}, key=f"k{i % 4}", partition=i % partitions)
+    producer.flush()
+    return clock, cluster, producer
+
+
+def eo_config(**overrides):
+    kwargs = dict(
+        name="eo",
+        inputs=["in"],
+        task_factory=TagTask,
+        checkpoint_interval=5,
+        processing_guarantee=EXACTLY_ONCE,
+    )
+    kwargs.update(overrides)
+    return JobConfig(**kwargs)
+
+
+def committed_outputs(cluster, partitions=2):
+    out = []
+    for partition in range(partitions):
+        result = cluster.fetch(
+            "out", partition, 0, max_messages=100_000,
+            isolation="read_committed",
+        )
+        out.extend((partition, r.value["offset"]) for r in result.records)
+    return out
+
+
+class TestConfig:
+    def test_default_guarantee_is_at_least_once(self):
+        config = JobConfig(name="j", inputs=["in"], task_factory=TagTask)
+        assert config.processing_guarantee == AT_LEAST_ONCE
+
+    def test_unknown_guarantee_rejected(self):
+        with pytest.raises(JobConfigError):
+            JobConfig(
+                name="j",
+                inputs=["in"],
+                task_factory=TagTask,
+                processing_guarantee="at_most_once",
+            )
+
+    def test_task_context_exposes_guarantee(self):
+        _clock, cluster, _producer = make_env()
+        runner = JobRunner(eo_config(), cluster)
+        context = runner.task(0).context
+        assert context.processing_guarantee == EXACTLY_ONCE
+        assert context.exactly_once
+
+    def test_transactional_id_is_job_and_task_derived(self):
+        assert transactional_id("etl", 3) == "etl-3"
+
+
+class TestTransactionBoundary:
+    def test_outputs_invisible_until_checkpoint_commits(self):
+        _clock, cluster, _producer = make_env(partitions=1, n=4)
+        # Interval larger than the input: no checkpoint fires on its own.
+        runner = JobRunner(eo_config(checkpoint_interval=100), cluster)
+        runner.poll_once()
+        assert runner.records_processed == 4
+        assert committed_outputs(cluster, partitions=1) == []
+        runner.checkpoint()
+        assert committed_outputs(cluster, partitions=1) == [
+            (0, 0), (0, 1), (0, 2), (0, 3)
+        ]
+
+    def test_offsets_commit_atomically_with_outputs(self):
+        _clock, cluster, _producer = make_env(partitions=1, n=4)
+        runner = JobRunner(eo_config(checkpoint_interval=100), cluster)
+        runner.poll_once()
+        tp = TopicPartition("in", 0)
+        assert runner.checkpoints.fetch(tp) is None
+        runner.checkpoint()
+        commit = runner.checkpoints.fetch(tp)
+        assert commit is not None and commit.offset == 4
+        assert commit.metadata["software_version"] == "v1"
+
+    def test_checkpoint_interval_commits_mid_stream(self):
+        _clock, cluster, _producer = make_env(partitions=1, n=20)
+        runner = JobRunner(eo_config(checkpoint_interval=5), cluster)
+        runner.poll_once(max_messages=7)
+        # 7 processed, interval 5: the boundary committed the whole pass.
+        assert len(committed_outputs(cluster, partitions=1)) == 7
+
+    def test_run_until_idle_commits_the_tail(self):
+        _clock, cluster, _producer = make_env(partitions=2, n=19)
+        runner = JobRunner(eo_config(checkpoint_interval=1000), cluster)
+        runner.run_until_idle()
+        assert len(committed_outputs(cluster)) == 19
+
+
+class TestCrashRecovery:
+    def test_crash_mid_transaction_leaves_no_duplicates(self):
+        _clock, cluster, _producer = make_env(partitions=2, n=30)
+        runner = JobRunner(eo_config(checkpoint_interval=8), cluster)
+        runner.poll_once(max_messages=6)   # open transactions, no commit yet
+        runner.crash()
+        runner.recover()
+        runner.run_until_idle()
+        outputs = committed_outputs(cluster)
+        assert len(outputs) == 30
+        assert len(set(outputs)) == 30  # every input emitted exactly once
+
+    def test_at_least_once_same_crash_duplicates(self):
+        """The contrast case: identical crash schedule, default guarantee —
+        replay from the last checkpoint re-emits what the crash lost."""
+        _clock, cluster, _producer = make_env(partitions=2, n=30)
+        runner = JobRunner(
+            eo_config(
+                checkpoint_interval=1000,
+                processing_guarantee=AT_LEAST_ONCE,
+            ),
+            cluster,
+        )
+        runner.poll_once(max_messages=6)
+        runner.crash()
+        runner.recover()
+        runner.run_until_idle()
+        outputs = []
+        for partition in range(2):
+            result = cluster.fetch("out", partition, 0, max_messages=100_000)
+            outputs.extend(
+                (partition, r.value["offset"]) for r in result.records
+            )
+        assert len(outputs) == 42  # 30 + the 12 replayed after the crash
+        assert len(set(outputs)) == 30
+
+    def test_aborted_changelog_entries_not_restored(self):
+        _clock, cluster, _producer = make_env(partitions=1, n=10)
+        runner = JobRunner(
+            eo_config(
+                task_factory=CountingTask,
+                stores=(StoreConfig("counts"),),
+                checkpoint_interval=4,
+            ),
+            cluster,
+        )
+        runner.poll_once(max_messages=4)  # hits the boundary: commits
+        runner.poll_once(max_messages=2)  # open transaction, never commits
+        runner.crash()
+        runner.recover()
+        # Only the 4 committed updates survive into the rebuilt store.
+        store = runner.task(0).stores["counts"]
+        restored = sum(store.get_or_default(f"k{i}", 0) for i in range(4))
+        assert restored == 4
+        runner.run_until_idle()
+        counts = {}
+        result = cluster.fetch(
+            "out", 0, 0, max_messages=100_000, isolation="read_committed"
+        )
+        for record in result.records:
+            counts[(record.value["k"], record.value["n"])] = (
+                counts.get((record.value["k"], record.value["n"]), 0) + 1
+            )
+        assert all(v == 1 for v in counts.values())
+        assert len(counts) == 10
+
+    def test_recovery_fences_zombie_incarnation(self):
+        _clock, cluster, _producer = make_env(partitions=1, n=10)
+        runner = JobRunner(eo_config(checkpoint_interval=100), cluster)
+        runner.poll_once(max_messages=3)
+        zombie = runner._txn_producers[0]
+        runner.crash()
+        runner.recover()
+        with pytest.raises(ProducerFencedError):
+            zombie.commit()
+        with pytest.raises(ProducerFencedError):
+            zombie.begin()
+
+    def test_inputs_read_committed_under_exactly_once(self):
+        """An upstream job's uncommitted outputs must not be processed."""
+        from repro.messaging.transactions import TransactionalProducer
+
+        clock = SimClock()
+        cluster = MessagingCluster(num_brokers=1, clock=clock)
+        cluster.create_topic("in", num_partitions=1, replication_factor=1)
+        cluster.create_topic("out", num_partitions=1, replication_factor=1)
+        upstream = TransactionalProducer(cluster, "upstream")
+        upstream.begin()
+        upstream.send("in", {"i": 0}, partition=0)
+        runner = JobRunner(eo_config(), cluster)
+        assert runner.run_until_idle() == 0  # pending input invisible
+        upstream.commit()
+        assert runner.run_until_idle() == 1
+
+
+class TestMigration:
+    def test_migrate_commits_open_transaction_first(self):
+        _clock, cluster, _producer = make_env(partitions=2, n=20)
+        runner = JobRunner(eo_config(checkpoint_interval=1000), cluster)
+        runner.poll_once(max_messages=4)
+        assert committed_outputs(cluster) == []
+        runner.migrate_task(0)
+        # Task 0's staged work committed at the migration boundary...
+        outputs = committed_outputs(cluster)
+        assert (0, 0) in outputs and (0, 3) in outputs
+        # ...and task 1's transaction is still open, still invisible.
+        assert all(partition == 0 for partition, _ in outputs)
+
+    def test_migration_bumps_epoch_and_fences(self):
+        _clock, cluster, _producer = make_env(partitions=2, n=20)
+        runner = JobRunner(eo_config(), cluster)
+        old_producer = runner._txn_producers[0]
+        runner.migrate_task(0)
+        assert runner._txn_producers[0].epoch > old_producer.epoch
+        with pytest.raises(ProducerFencedError):
+            old_producer.begin()
+
+    def test_output_identical_with_and_without_migration(self):
+        results = []
+        for migrate in (False, True):
+            _clock, cluster, _producer = make_env(partitions=2, n=24)
+            runner = JobRunner(eo_config(checkpoint_interval=6), cluster)
+            runner.poll_once(max_messages=5)
+            if migrate:
+                runner.migrate_task(0)
+                runner.migrate_task(1)
+            runner.run_until_idle()
+            outputs = []
+            for partition in range(2):
+                fetched = cluster.fetch(
+                    "out", partition, 0, max_messages=100_000,
+                    isolation="read_committed",
+                )
+                outputs.append(
+                    [(r.key, r.value["offset"], r.value["value"])
+                     for r in fetched.records]
+                )
+            results.append(outputs)
+        assert results[0] == results[1]

@@ -154,3 +154,123 @@ class TestLagAndCosts:
             producer.send("events", 100 + i, key=str(i))
         copied = mirror.run_until_synced()
         assert copied == 10
+
+
+class TestTransactionalIsolation:
+    """Regression: the mirror used to fetch ``read_uncommitted``, so aborted
+    transactional records were re-produced on the target as committed data."""
+
+    def test_aborted_transaction_not_mirrored(self):
+        from repro.messaging.transactions import TransactionalProducer
+
+        west, east = two_colos()
+        txn = TransactionalProducer(west, "tx")
+        txn.begin()
+        txn.send("events", "doomed", partition=0)
+        txn.abort()
+        txn.begin()
+        txn.send("events", "kept", partition=0)
+        txn.commit()
+        west.tick(0.0)
+        mirror = MirrorMaker(west, east)
+        mirror.run_until_synced()
+        values = [r.value for r in drain(east, "events", 0)]
+        assert values == ["kept"]
+        # The aborted record IS on the source log (read_uncommitted view)...
+        assert [r.value for r in drain(west, "events", 0)] == ["doomed", "kept"]
+        # ...but never laundered into committed data on the target.
+        committed = east.fetch(
+            "events", 0, 0, max_messages=100, isolation="read_committed"
+        )
+        assert [r.value for r in committed.records] == ["kept"]
+
+    def test_open_transaction_holds_mirror_back(self):
+        from repro.messaging.transactions import TransactionalProducer
+
+        west, east = two_colos()
+        txn = TransactionalProducer(west, "tx")
+        txn.begin()
+        txn.send("events", "pending", partition=0)
+        west.tick(0.0)
+        mirror = MirrorMaker(west, east)
+        assert mirror.run_until_synced() == 0
+        txn.commit()
+        west.tick(0.0)
+        assert mirror.run_until_synced() == 1
+        assert [r.value for r in drain(east, "events", 0)] == ["pending"]
+
+    def test_invalid_isolation_rejected(self):
+        west, east = two_colos()
+        with pytest.raises(ConfigError):
+            MirrorMaker(west, east, isolation="serializable")
+
+
+class TestRetentionReseat:
+    """Regression: a source retention sweep below the mirror position used to
+    raise OffsetOutOfRangeError out of ``poll`` and wedge the mirror."""
+
+    def _west_with_retention(self):
+        from repro.messaging.topic import LogConfig, RetentionConfig, TopicConfig
+
+        clock = SimClock()
+        west = MessagingCluster(num_brokers=3, clock=clock)
+        east = MessagingCluster(num_brokers=3, clock=clock)
+        west.create_topic(
+            TopicConfig(
+                name="logs",
+                num_partitions=1,
+                replication_factor=3,
+                retention=RetentionConfig(retention_seconds=5.0),
+                log=LogConfig(segment_max_messages=5),
+            )
+        )
+        return west, east
+
+    def test_retention_storm_reseats_and_counts_skips(self):
+        west, east = self._west_with_retention()
+        producer = Producer(west)
+        for i in range(20):
+            producer.send("logs", {"i": i})
+        producer.flush()
+        west.tick(0.0)
+        mirror = MirrorMaker(west, east, topics=["logs"], batch=5)
+        stats = mirror.poll()  # position now 5, far behind the head
+        assert stats.records_mirrored == 5
+        # Retention storm: everything sealed before the sweep disappears.
+        west.tick(60.0)
+        producer.send("logs", {"i": 99})
+        producer.flush()
+        west.tick(0.0)
+        start = west.beginning_offset(TopicPartition("logs", 0))
+        assert start > 5  # the sweep really did delete below the mirror
+        total_skipped = 0
+        copied = 0
+        for _ in range(50):
+            stats = mirror.poll()
+            total_skipped += stats.records_skipped
+            copied += stats.records_mirrored
+            west.tick(0.0)
+            east.tick(0.0)
+            if stats.records_mirrored == 0 and stats.records_skipped == 0:
+                break
+        assert total_skipped == start - 5
+        assert mirror.lag() == 0
+        # Mirroring continues from the reseat point: the record produced
+        # after the storm arrives on the target.
+        values = [r.value for r in drain(east, "logs", 0)]
+        assert {"i": 99} in values
+
+    def test_reseat_checkpointed_so_restart_does_not_rewedge(self):
+        west, east = self._west_with_retention()
+        producer = Producer(west)
+        for i in range(20):
+            producer.send("logs", {"i": i})
+        producer.flush()
+        west.tick(0.0)
+        mirror = MirrorMaker(west, east, topics=["logs"], batch=5)
+        mirror.poll()
+        west.tick(60.0)  # sweep
+        mirror.poll()    # reseats + commits the reseated position
+        restarted = MirrorMaker(west, east, topics=["logs"], batch=5)
+        stats = restarted.poll()
+        assert stats.records_skipped == 0  # resumed at/after the reseat

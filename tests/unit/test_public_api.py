@@ -33,10 +33,13 @@ EXPECTED_API = sorted(
         "ACKS_ALL",
         "PARTITIONER_HASH",
         "PARTITIONER_ROUND_ROBIN",
+        "TransactionalProducer",
         # processing
         "JobConfig",
         "StoreConfig",
         "JobRunner",
+        "AT_LEAST_ONCE",
+        "EXACTLY_ONCE",
         # elasticity
         "LagMonitor",
         "LagSample",
@@ -74,6 +77,8 @@ EXPECTED_API = sorted(
         "ProcessingError",
         "SerdeError",
         "AuthorizationError",
+        "TransactionError",
+        "ProducerFencedError",
     ]
 )
 

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.chaos.failpoints import raising, registry
 from repro.common.clock import SimClock
 from repro.common.errors import ConfigError, ProducerFencedError, TransactionError
 from repro.common.records import TopicPartition
@@ -12,6 +13,13 @@ from repro.messaging.transactions import (
     TransactionalProducer,
     get_transaction_coordinator,
 )
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    registry().disarm_all()
+    yield
+    registry().disarm_all()
 
 TP = TopicPartition("t", 0)
 
@@ -203,6 +211,31 @@ class TestConsumerIntegration:
         with pytest.raises(ConfigError):
             Consumer(make_cluster(), isolation_level="serializable")
 
+    def test_marker_order_is_deterministic_across_insertion_orders(self):
+        """Regression: ``_write_markers`` used to iterate the ``in_flight``
+        *set*, so marker write order depended on PYTHONHASHSEED — silently
+        breaking byte-for-byte replay of any transactional run.  Markers
+        must now go out in sorted partition order, however the transaction
+        touched them."""
+        orders = []
+        for touch_order in ([3, 0, 2, 1], [1, 2, 0, 3]):
+            cluster = make_cluster(partitions=4)
+            producer = TransactionalProducer(cluster, "tx")
+            producer.begin()
+            for partition in touch_order:
+                producer.send("t", f"p{partition}", partition=partition)
+            written: list[tuple[str, int]] = []
+
+            def record(partition=None, **_ctx):
+                if partition.topic == "t":
+                    written.append((partition.topic, partition.partition))
+
+            with registry().scoped("cluster.produce", record):
+                producer.commit()
+            orders.append(written)
+        assert orders[0] == orders[1]
+        assert orders[0] == [("t", 0), ("t", 1), ("t", 2), ("t", 3)]
+
     def test_transaction_state_survives_failover(self):
         cluster = make_cluster()
         producer = TransactionalProducer(cluster, "tx")
@@ -215,3 +248,169 @@ class TestConsumerIntegration:
         cluster.run_until_replicated()
         cluster.kill_broker(cluster.leader_of("t", 0))
         assert committed_values(cluster) == ["committed-later"]
+
+
+class TestCrashAtomicCommit:
+    """The commit protocol behind chaos failpoints: markers and offset
+    commits must never be observable half-done."""
+
+    def staged_transaction(self, partitions=2):
+        cluster = make_cluster(partitions=partitions)
+        producer = TransactionalProducer(cluster, "etl")
+        producer.begin()
+        for partition in range(partitions):
+            producer.send("t", f"out-{partition}", partition=partition)
+        producer.send_offsets_to_transaction(
+            "job-etl", {TopicPartition("in", 0): 7}, {"task_id": 0}
+        )
+        return cluster, producer
+
+    def test_crash_before_decision_aborts_on_restart(self):
+        cluster, producer = self.staged_transaction()
+        registry().arm("txn.commit", raising(lambda: RuntimeError("crash")))
+        with pytest.raises(RuntimeError):
+            producer.commit()
+        TransactionalProducer(cluster, "etl")  # restart: fences + aborts
+        assert committed_values(cluster, 0) == []
+        assert committed_values(cluster, 1) == []
+        assert cluster.offset_manager.fetch("job-etl", TopicPartition("in", 0)) is None
+
+    def test_crash_between_markers_and_offsets_rolls_forward(self):
+        """Satellite regression: a crash after ``_write_markers`` but before
+        the offset-manager commit used to leak committed outputs with
+        uncommitted offsets — a restart would replay inputs and emit
+        duplicates.  The decided commit now completes on restart."""
+        cluster, producer = self.staged_transaction()
+        registry().arm(
+            "txn.commit.offsets", raising(lambda: RuntimeError("crash"))
+        )
+        with pytest.raises(RuntimeError):
+            producer.commit()
+        registry().disarm_all()
+        # The dangerous window: outputs are already visible...
+        assert committed_values(cluster, 0) == ["out-0"]
+        # ...so restart must NOT abort — it completes the decided commit.
+        TransactionalProducer(cluster, "etl")
+        commit = cluster.offset_manager.fetch("job-etl", TopicPartition("in", 0))
+        assert commit is not None and commit.offset == 7
+        assert commit.metadata["task_id"] == 0
+        assert committed_values(cluster, 0) == ["out-0"]
+        assert committed_values(cluster, 1) == ["out-1"]
+
+    def test_crash_mid_markers_completes_remaining_markers_once(self):
+        cluster, producer = self.staged_transaction()
+        fired = {"n": 0}
+
+        def second_marker_crashes(**_ctx):
+            fired["n"] += 1
+            if fired["n"] == 2:
+                raise RuntimeError("crash")
+
+        registry().arm("txn.commit.marker", second_marker_crashes)
+        with pytest.raises(RuntimeError):
+            producer.commit()
+        registry().disarm_all()
+        TransactionalProducer(cluster, "etl")
+        assert committed_values(cluster, 0) == ["out-0"]
+        assert committed_values(cluster, 1) == ["out-1"]
+        # Exactly one record + one marker per partition — the marker that
+        # was already written is not re-written on roll-forward.
+        for partition in range(2):
+            assert cluster.log_end_offset(TopicPartition("t", partition)) == 2
+        commit = cluster.offset_manager.fetch("job-etl", TopicPartition("in", 0))
+        assert commit is not None and commit.offset == 7
+
+    def test_commit_retry_resumes_decided_transaction(self):
+        """``commit()`` called again after a mid-commit crash finishes the
+        apply phase instead of raising 'no open transaction'."""
+        cluster, producer = self.staged_transaction()
+        registry().arm(
+            "txn.commit.offsets", raising(lambda: RuntimeError("crash"))
+        )
+        with pytest.raises(RuntimeError):
+            producer.commit()
+        registry().disarm_all()
+        producer.commit()  # same incarnation retries
+        commit = cluster.offset_manager.fetch("job-etl", TopicPartition("in", 0))
+        assert commit is not None and commit.offset == 7
+
+    def test_abort_of_decided_transaction_rejected(self):
+        cluster, producer = self.staged_transaction()
+        registry().arm(
+            "txn.commit.offsets", raising(lambda: RuntimeError("crash"))
+        )
+        with pytest.raises(RuntimeError):
+            producer.commit()
+        registry().disarm_all()
+        with pytest.raises(TransactionError):
+            producer.abort()
+
+
+class TestIdempotentSequences:
+    """Satellite regression: transactional sends used to increment a local
+    counter without attaching it, bypassing broker-side dedup entirely."""
+
+    def test_sequences_attached_per_partition(self):
+        cluster = make_cluster(partitions=2)
+        producer = TransactionalProducer(cluster, "tx")
+        producer.begin()
+        producer.send("t", "a", partition=0)
+        producer.send("t", "b", partition=0)
+        producer.send("t", "c", partition=1)
+        producer.commit()
+        p0 = uncommitted_values(cluster, 0)
+        assert p0 == ["a", "b"]
+        records = cluster.fetch("t", 0, 0, max_messages=100).records
+        assert [r.headers["__seq"] for r in records] == [0, 1]
+        records = cluster.fetch("t", 1, 0, max_messages=100).records
+        assert [r.headers["__seq"] for r in records] == [0]
+
+    def test_sequences_continue_across_incarnations(self):
+        """A restarted incarnation shares the producer id, so its sequences
+        must continue the numbering — restarting at 0 would be wrongly
+        deduplicated against the previous incarnation's appends."""
+        cluster = make_cluster()
+        first = TransactionalProducer(cluster, "tx")
+        first.begin()
+        first.send("t", "one")
+        first.send("t", "two")
+        first.commit()
+        second = TransactionalProducer(cluster, "tx")
+        assert second.producer_id == first.producer_id
+        second.begin()
+        ack = second.send("t", "three")
+        assert not ack.duplicate
+        second.commit()
+        assert committed_values(cluster) == ["one", "two", "three"]
+
+    def test_retry_inside_transaction_dedupes(self):
+        """acks=all failed after the leader append stood: the transactional
+        send retries under its original sequence and the broker dedupes —
+        the record lands exactly once inside the transaction."""
+        cluster = MessagingCluster(num_brokers=3, clock=SimClock())
+        cluster.create_topic(
+            "t", num_partitions=1, replication_factor=3, min_insync_replicas=2
+        )
+        producer = TransactionalProducer(cluster, "tx")
+        producer.begin()
+        leader = cluster.leader_of("t", 0)
+        followers = [b for b in range(3) if b != leader]
+        for follower in followers:
+            cluster.broker(follower).shutdown()  # sessions still alive
+        attempts = {"n": 0}
+
+        def heal_on_retry(**_ctx):
+            attempts["n"] += 1
+            if attempts["n"] == 2:
+                for follower in followers:
+                    cluster.controller.broker_failed(follower)
+                    cluster.restart_broker(follower)
+                cluster.run_until_replicated()
+
+        with registry().scoped("cluster.produce", heal_on_retry):
+            ack = producer.send("t", "exactly-once")
+        assert attempts["n"] >= 2  # first attempt failed, retry went through
+        assert ack.duplicate  # broker recognized the replayed sequence
+        assert producer.retries >= 1
+        producer.commit()
+        assert committed_values(cluster) == ["exactly-once"]
