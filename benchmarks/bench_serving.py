@@ -1,0 +1,224 @@
+"""Serving benchmark: query latency and standby-promote vs cold-restore.
+
+Measures **simulated** time (the cost-model channel, bit-reproducible
+anywhere) across the claims the serving subsystem makes:
+
+* *queries are cheap* — point lookups routed through the
+  :class:`StateQueryRouter` cost store-probe + one network hop; the report
+  records p50/p99 for gets (primary and stale-tolerant) and range scans;
+* *standby promotion beats cold restore* — with an identical workload and
+  crash point, a job keeping one standby replica recovers by replaying only
+  the catch-up tail, at least ``--min-recovery-speedup`` times faster in
+  simulated seconds than the same job cold-replaying its changelog
+  (target: >= 5x; CI gates at 3x).
+
+Every run writes ``BENCH_serving.json`` at the repo root with pass/fail
+checks so CI can smoke it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py \
+        [--quick] [--min-recovery-speedup X] [--output PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import random
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.common.clock import SimClock  # noqa: E402
+from repro.messaging.cluster import MessagingCluster  # noqa: E402
+from repro.messaging.producer import Producer  # noqa: E402
+from repro.processing.job import JobConfig, JobRunner, StoreConfig  # noqa: E402
+from repro.serving import StateQueryRouter  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_serving.json"
+PARTITIONS = 4
+SEED = 20150107  # CIDR'15
+
+
+class CountingTask:
+    def init(self, context):
+        self.store = context.store("counts")
+
+    def process(self, record, collector):
+        self.store.put(record.key, (self.store.get(record.key) or 0) + 1)
+
+
+def build_job(standbys: int, updates: int, keys: int, tail: int):
+    """Same-seed workload: phases with checkpoints, then an uncheckpointed
+    tail — the exact position both recovery arms crash at."""
+    rng = random.Random(SEED)
+    cluster = MessagingCluster(num_brokers=3, clock=SimClock())
+    cluster.create_topic("events", num_partitions=PARTITIONS,
+                         replication_factor=3)
+    producer = Producer(cluster)
+    runner = JobRunner(
+        JobConfig(name="bench-serving", inputs=["events"],
+                  task_factory=CountingTask, stores=[StoreConfig("counts")],
+                  changelog_replication=3, num_standby_replicas=standbys),
+        cluster,
+    )
+    for phase in range(4):
+        for _ in range(updates // 4):
+            producer.send("events", 1, key=f"k{rng.randrange(keys)}")
+        runner.run_until_idle()
+        runner.checkpoint()
+    for _ in range(tail):
+        producer.send("events", 1, key=f"k{rng.randrange(keys)}")
+    runner.run_until_idle()  # processed + changelogged, NOT checkpointed
+    return cluster, runner
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def bench_queries(runner, keys: int, queries: int) -> dict:
+    router = StateQueryRouter(runner)
+    rng = random.Random(SEED + 1)
+    gets, stale_gets = [], []
+    for _ in range(queries):
+        key = f"k{rng.randrange(keys)}"
+        gets.append(router.get("counts", key).latency)
+        stale_gets.append(router.get("counts", key, allow_stale=True).latency)
+    ranges = [router.range("counts").latency for _ in range(20)]
+    counts = [router.approximate_count("counts").latency for _ in range(20)]
+    return {
+        "queries": queries,
+        "get_p50_s": percentile(gets, 0.50),
+        "get_p99_s": percentile(gets, 0.99),
+        "stale_get_p50_s": percentile(stale_gets, 0.50),
+        "stale_get_p99_s": percentile(stale_gets, 0.99),
+        "range_p50_s": percentile(ranges, 0.50),
+        "range_p99_s": percentile(ranges, 0.99),
+        "count_p50_s": percentile(counts, 0.50),
+        "count_p99_s": percentile(counts, 0.99),
+    }
+
+
+def bench_recovery(standbys: int, updates: int, keys: int, tail: int) -> dict:
+    _cluster, runner = build_job(standbys, updates, keys, tail)
+    state_before = [
+        dict(instance.stores["counts"].items()) for instance in runner.tasks()
+    ]
+    runner.crash()
+    report = runner.recover()
+    state_after = [
+        dict(instance.stores["counts"].items()) for instance in runner.tasks()
+    ]
+    return {
+        "standby_replicas": standbys,
+        "recovery_simulated_s": report.simulated_seconds,
+        "records_replayed": report.records_replayed,
+        "standby_promotions": report.standby_promotions(),
+        "state_exact": state_after == state_before,
+    }
+
+
+def run_all(quick: bool) -> dict:
+    updates = 4000 if quick else 8000
+    keys = 150 if quick else 400
+    tail = 30 if quick else 60
+    queries = 200 if quick else 500
+    print(f"bench_serving: {updates} updates over {keys} keys, "
+          f"{PARTITIONS} partitions, tail={tail}")
+
+    _cluster, runner = build_job(standbys=1, updates=updates, keys=keys,
+                                 tail=tail)
+    runner.checkpoint()  # warm the standbys before the query workload
+    query_report = bench_queries(runner, keys, queries)
+    print(f"  get p50={query_report['get_p50_s'] * 1e6:.1f}us "
+          f"p99={query_report['get_p99_s'] * 1e6:.1f}us; "
+          f"range p99={query_report['range_p99_s'] * 1e6:.1f}us")
+
+    warm = bench_recovery(1, updates, keys, tail)
+    cold = bench_recovery(0, updates, keys, tail)
+    speedup = (
+        cold["recovery_simulated_s"] / warm["recovery_simulated_s"]
+        if warm["recovery_simulated_s"] else float(cold["records_replayed"])
+    )
+    for name, arm in (("standby", warm), ("cold", cold)):
+        print(f"  {name}: recovery={arm['recovery_simulated_s'] * 1e3:.3f}ms "
+              f"replayed={arm['records_replayed']} "
+              f"promotions={arm['standby_promotions']}")
+    print(f"  speedup standby-promote vs cold-restore: {speedup:.1f}x")
+    return {
+        "schema": "bench_serving/v1",
+        "quick": quick,
+        "python": platform.python_version(),
+        "config": {
+            "partitions": PARTITIONS,
+            "updates": updates,
+            "keys": keys,
+            "uncheckpointed_tail": tail,
+            "seed": SEED,
+        },
+        "queries": query_report,
+        "recovery_standby": warm,
+        "recovery_cold": cold,
+        "recovery_speedup": speedup,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload for CI smoke runs",
+    )
+    parser.add_argument(
+        "--min-recovery-speedup", type=float, default=5.0,
+        help="fail unless standby promotion beats cold restore by this "
+             "factor (default 5.0; CI gates at 3.0)",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    report = run_all(args.quick)
+    checks = {
+        "standby_promote_fast_enough": (
+            report["recovery_speedup"] >= args.min_recovery_speedup
+        ),
+        "standby_replayed_less": (
+            report["recovery_standby"]["records_replayed"]
+            < report["recovery_cold"]["records_replayed"]
+        ),
+        "both_recoveries_exact": (
+            report["recovery_standby"]["state_exact"]
+            and report["recovery_cold"]["state_exact"]
+        ),
+        "promotions_happened": (
+            report["recovery_standby"]["standby_promotions"] == PARTITIONS
+        ),
+        "query_latency_sane": (
+            0.0 < report["queries"]["get_p50_s"]
+            <= report["queries"]["get_p99_s"]
+        ),
+    }
+    report["checks"] = checks
+    report["min_recovery_speedup"] = args.min_recovery_speedup
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed:
+        print(f"FAIL: {', '.join(failed)}")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,8 +86,8 @@ def main() -> None:
     assert emitted == SPIKE, "every input record emitted exactly once"
     assert runner.backlog() == 0
     runner.checkpoint()  # commit the drained positions for the lag report
-    report = AdminClient(cluster).consumer_lag_report()["job-enrich"]
-    assert report["total_lag"] == 0
+    report = AdminClient(cluster).consumer_lag_report().group("job-enrich")
+    assert report.total_lag == 0
     print(f"output: {emitted} enriched records, lag 0")
 
     print("elastic scale-out OK")

@@ -70,9 +70,9 @@ def main() -> None:
 
     print("\nper-stage latency (p50/p99, simulated seconds):")
     report = AdminClient(liquid.cluster).stage_latency_report(tracer)
-    for stage, stats in report.items():
-        print(f"  {stage:24s} count={stats['count']:.0f} "
-              f"p50={stats['p50']:.6f} p99={stats['p99']:.6f}")
+    for stats in report.stages:
+        print(f"  {stats.stage:24s} count={stats.count} "
+              f"p50={stats.p50:.6f} p99={stats.p99:.6f}")
 
     assert query.is_connected(trace_id) and len(records) == 1
     print("\ntrace a record OK")

@@ -13,7 +13,10 @@ Grouped by role:
 * **clients** — :class:`Producer` / :class:`Consumer` and their frozen
   config dataclasses;
 * **processing** — :class:`JobConfig`, :class:`StoreConfig`,
-  :class:`JobRunner`;
+  :class:`JobRunner`, the typed :class:`RecoveryReport`;
+* **serving** — the queryable-state read path: :class:`StateQueryRouter`,
+  :class:`StateServer`, :class:`StandbyReplica`, :class:`QueryResult` and
+  the consistency-mode constants;
 * **elasticity** — the lag-driven autoscaling loop
   (:class:`LagMonitor` → :class:`ScalingPolicy` →
   :class:`ElasticJobController`) and the :class:`BackpressureValve`;
@@ -36,6 +39,7 @@ from repro.common.errors import (
     ProcessingError,
     ProducerFencedError,
     SerdeError,
+    ServingError,
     TransactionError,
 )
 from repro.common.metrics import MetricsRegistry, metric_name
@@ -86,7 +90,26 @@ from repro.processing.job import (
     JobRunner,
     StoreConfig,
 )
-from repro.tools.admin import AdminClient
+from repro.processing.recovery import RecoveryReport, RestoredStore
+from repro.serving import (
+    CONSISTENCY_BOUNDED,
+    CONSISTENCY_SNAPSHOT,
+    CatchUpStats,
+    QueryResult,
+    StandbyReplica,
+    StateQueryRouter,
+    StateServer,
+)
+from repro.tools.admin import (
+    AdminClient,
+    ConsumerLagReport,
+    GroupLagReport,
+    OpenTransaction,
+    PartitionLag,
+    StageLatency,
+    StageLatencyReport,
+    TransactionReport,
+)
 from repro.tools.tracequery import SpanNode, TraceQuery, render_timeline
 
 __all__ = [
@@ -110,6 +133,16 @@ __all__ = [
     "JobRunner",
     "AT_LEAST_ONCE",
     "EXACTLY_ONCE",
+    "RecoveryReport",
+    "RestoredStore",
+    # serving
+    "StateQueryRouter",
+    "StateServer",
+    "StandbyReplica",
+    "CatchUpStats",
+    "QueryResult",
+    "CONSISTENCY_BOUNDED",
+    "CONSISTENCY_SNAPSHOT",
     # elasticity
     "LagMonitor",
     "LagSample",
@@ -132,6 +165,13 @@ __all__ = [
     "render_timeline",
     # tools / metrics
     "AdminClient",
+    "ConsumerLagReport",
+    "GroupLagReport",
+    "PartitionLag",
+    "TransactionReport",
+    "OpenTransaction",
+    "StageLatencyReport",
+    "StageLatency",
     "MetricsRegistry",
     "metric_name",
     # records / time
@@ -146,6 +186,7 @@ __all__ = [
     "MessagingError",
     "ProcessingError",
     "SerdeError",
+    "ServingError",
     "AuthorizationError",
     "TransactionError",
     "ProducerFencedError",

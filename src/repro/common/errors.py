@@ -177,6 +177,15 @@ class QuotaExceededError(ProcessingError):
 
 
 # ---------------------------------------------------------------------------
+# Serving layer
+# ---------------------------------------------------------------------------
+
+class ServingError(LiquidError):
+    """A state-serving query is invalid (unknown store, bad consistency
+    mode, task out of range; see :mod:`repro.serving`)."""
+
+
+# ---------------------------------------------------------------------------
 # Liquid core
 # ---------------------------------------------------------------------------
 

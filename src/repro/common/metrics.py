@@ -27,6 +27,7 @@ METRIC_LAYERS = (
     "storage",
     "processing",
     "elasticity",
+    "serving",
     "core",
     "tools",
 )

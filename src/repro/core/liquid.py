@@ -16,6 +16,8 @@ isolated container hosts for those jobs.
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import replace
 from typing import Any, Iterable
 
@@ -47,6 +49,25 @@ from repro.core.annotations import (
 )
 from repro.core.feeds import Feed, FeedRegistry
 from repro.core.incremental import IncrementalFold
+
+#: Which legacy-kwargs deprecation notices have fired this process; one
+#: warning per call site keeps a loop over ``liquid.producer(acks="all")``
+#: from flooding stderr while still steering every distinct caller to the
+#: frozen config objects.
+_LEGACY_KWARGS_WARNED: set[str] = set()
+
+
+def _warn_legacy_kwargs(method: str, kwargs: dict[str, Any]) -> None:
+    if method in _LEGACY_KWARGS_WARNED:
+        return
+    _LEGACY_KWARGS_WARNED.add(method)
+    config_cls = "ProducerConfig" if method == "producer" else "ConsumerConfig"
+    warnings.warn(
+        f"Liquid.{method}({', '.join(sorted(kwargs))}=...) with loose keyword "
+        f"options is deprecated; pass config={config_cls}(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 class Liquid:
@@ -141,10 +162,13 @@ class Liquid:
         """A producer publishing into the stack's feeds.
 
         Pass a :class:`~repro.messaging.config.ProducerConfig` (or the
-        legacy keyword options; unknown ones raise ``ConfigError``).  With
-        access control enabled, pass the team's ``principal``; writes are
-        then checked against its grants.
+        legacy keyword options, which are deprecated — a one-shot
+        ``DeprecationWarning`` fires; unknown ones raise ``ConfigError``).
+        With access control enabled, pass the team's ``principal``; writes
+        are then checked against its grants.
         """
+        if kwargs:
+            _warn_legacy_kwargs("producer", kwargs)
         producer = Producer(self.cluster, config=config, **kwargs)
         if self.acl.enabled:
             return SecureProducer(producer, self.acl, principal or "")
@@ -160,9 +184,12 @@ class Liquid:
         """A consumer for back-end systems; pass ``group`` for queue semantics.
 
         Accepts a :class:`~repro.messaging.config.ConsumerConfig` or the
-        legacy keyword options.  ``group`` may come from either the config
-        or the argument (the argument wins if both are given).
+        legacy keyword options (deprecated; a one-shot
+        ``DeprecationWarning`` fires).  ``group`` may come from either the
+        config or the argument (the argument wins if both are given).
         """
+        if kwargs:
+            _warn_legacy_kwargs("consumer", kwargs)
         if config is not None:
             if group is not None and config.group != group:
                 config = replace(config, group=group)

@@ -115,6 +115,9 @@ class ElasticJobController:
         self._c_migrations = metrics.counter(
             metric_name("elasticity", "controller", segment, "task_migrations")
         )
+        self._c_promotions = metrics.counter(
+            metric_name("elasticity", "controller", segment, "standby_promotions")
+        )
         self._g_containers.set(float(self.containers))
 
     # -- placement -------------------------------------------------------------------
@@ -200,9 +203,13 @@ class ElasticJobController:
         self.containers = decision.to_containers
         moved = self._rebalance_containers(self.containers)
         migration_seconds = 0.0
+        promotions = 0
         for task_id in moved:
             report = self.runner.migrate_task(task_id)
             migration_seconds += report.simulated_seconds
+            # Jobs with standby replicas restart moved tasks off a warm
+            # copy — the migration pays only the changelog catch-up tail.
+            promotions += report.standby_promotions()
         if migration_seconds and isinstance(self.clock, SimClock):
             self.clock.advance(migration_seconds)
         event = ScaleEvent(
@@ -221,6 +228,8 @@ class ElasticJobController:
         elif decision.action == SCALE_IN:
             self._c_scale_ins.increment(1)
         self._c_migrations.increment(len(moved))
+        if promotions:
+            self._c_promotions.increment(promotions)
         tracer = current_tracer()
         if tracer is not None:
             span = tracer.open_span(

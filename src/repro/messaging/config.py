@@ -34,7 +34,14 @@ AUTO_OFFSET_RESETS = ("earliest", "latest")
 ISOLATION_LEVELS = ("read_uncommitted", "read_committed")
 
 
-def _reject_unknown(cls: type, kwargs: dict[str, Any]) -> None:
+def reject_unknown_options(cls: type, kwargs: dict[str, Any]) -> None:
+    """Raise :class:`ConfigError` (not ``TypeError``) for unknown keywords.
+
+    Shared by every ``from_kwargs`` constructor — the client configs here
+    and the job-layer :class:`~repro.processing.job.JobConfig` /
+    :class:`~repro.processing.job.StoreConfig` — so typos fail the same way
+    everywhere, with the supported surface listed.
+    """
     known = {f.name for f in fields(cls)}
     unknown = sorted(set(kwargs) - known)
     if unknown:
@@ -82,7 +89,7 @@ class ProducerConfig:
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "ProducerConfig":
         """Build from legacy keywords; unknown keywords raise ConfigError."""
-        _reject_unknown(cls, kwargs)
+        reject_unknown_options(cls, kwargs)
         return cls(**kwargs)
 
 
@@ -123,5 +130,5 @@ class ConsumerConfig:
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "ConsumerConfig":
         """Build from legacy keywords; unknown keywords raise ConfigError."""
-        _reject_unknown(cls, kwargs)
+        reject_unknown_options(cls, kwargs)
         return cls(**kwargs)

@@ -4,7 +4,12 @@ from repro.processing.checkpoint import CheckpointManager, job_group_name
 from repro.processing.containers import IsolatedHost, QuantumReport, ResourceQuota
 from repro.processing.dataflow import Dataflow
 from repro.processing.job import JobConfig, JobRunner, PollResult, StoreConfig
-from repro.processing.recovery import RecoveryReport, restore_job_state, restore_state
+from repro.processing.recovery import (
+    RecoveryReport,
+    RestoredStore,
+    restore_job_state,
+    restore_state,
+)
 from repro.processing.state import KeyValueState, changelog_topic_name
 from repro.processing.store import InMemoryStore, KeyValueStore, LsmStore, make_store
 from repro.processing.task import (
@@ -39,6 +44,7 @@ __all__ = [
     "MessageCollector",
     "Emit",
     "RecoveryReport",
+    "RestoredStore",
     "restore_state",
     "restore_job_state",
     "IsolatedHost",

@@ -17,6 +17,13 @@ from repro.common.records import TopicPartition
 from repro.messaging.offset_manager import OffsetCommit, OffsetManager
 
 
+#: Checkpoint-metadata key under which the job runner stamps the changelog
+#: end offsets the checkpoint covers ({store_name: offset}).  A restarted
+#: runner seeds its snapshot-consistency bound from this durable record; see
+#: :mod:`repro.serving` for the read path that serves at that bound.
+CHANGELOG_OFFSETS_KEY = "changelog_offsets"
+
+
 def job_group_name(job_name: str) -> str:
     """Offset-manager group under which a job checkpoints."""
     return f"job-{job_name}"

@@ -26,18 +26,20 @@ from typing import Any, Callable
 
 from repro.chaos.failpoints import SKIP, failpoint
 from repro.common.clock import SimClock
-from repro.common.errors import JobConfigError, TaskFailedError
+from repro.common.errors import JobConfigError, MessagingError, TaskFailedError
 from repro.common.metrics import metric_name, metric_segment
 from repro.common.records import TRACE_HEADER, ConsumerRecord, TopicPartition
 from repro.messaging.cluster import ACKS_LEADER, MessagingCluster
+from repro.messaging.config import reject_unknown_options
 from repro.messaging.producer import Producer
 from repro.messaging.transactions import TransactionalProducer
 from repro.observability.trace import TraceContext, Tracer, current_tracer
 from repro.messaging.topic import TopicConfig
 from repro.storage.log import LogConfig
-from repro.processing.checkpoint import CheckpointManager
+from repro.processing.checkpoint import CHANGELOG_OFFSETS_KEY, CheckpointManager
 from repro.processing.state import KeyValueState, changelog_topic_name
-from repro.processing.store import make_store
+from repro.processing.store import STORE_TYPES, KeyValueStore, make_store
+from repro.serving.replica import CatchUpStats, StandbyReplica
 from repro.processing.task import Emit, MessageCollector, StreamTask, TaskContext
 
 
@@ -62,6 +64,21 @@ class StoreConfig:
     changelog: bool = True
     store_options: dict[str, Any] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise JobConfigError("store name must be non-empty")
+        if self.store_type not in STORE_TYPES:
+            raise JobConfigError(
+                f"store {self.name!r}: unknown store_type "
+                f"{self.store_type!r}; known: {sorted(STORE_TYPES)}"
+            )
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "StoreConfig":
+        """Build from loose keywords; unknown keywords raise ConfigError."""
+        reject_unknown_options(cls, kwargs)
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class JobConfig:
@@ -83,6 +100,11 @@ class JobConfig:
     #: transactional producer ships a batch (the rest flush at commit).
     #: Batching amortizes the acks=all round trip each staged write pays.
     txn_linger_messages: int = 16
+    #: Warm store copies per task, kept on other containers by tailing the
+    #: changelog.  Failover and elastic migration promote one and pay only
+    #: the catch-up tail instead of a full changelog restore, and the
+    #: serving router can read them for stale-tolerant load spreading.
+    num_standby_replicas: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -100,9 +122,17 @@ class JobConfig:
             raise JobConfigError("txn_linger_messages must be >= 1")
         if self.window_interval is not None and self.window_interval <= 0:
             raise JobConfigError("window_interval must be > 0")
+        if self.num_standby_replicas < 0:
+            raise JobConfigError("num_standby_replicas must be >= 0")
         names = [s.name for s in self.stores]
         if len(set(names)) != len(names):
             raise JobConfigError(f"duplicate store names in job {self.name!r}")
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "JobConfig":
+        """Build from loose keywords; unknown keywords raise ConfigError."""
+        reject_unknown_options(cls, kwargs)
+        return cls(**kwargs)
 
 
 @dataclass
@@ -193,6 +223,21 @@ class JobRunner:
         self._ensure_changelog_topics()
         self._tasks: list[_TaskInstance] = []
         self._build_tasks()
+        #: task_id -> ordered standby sets, each mapping store name to a
+        #: warm replica.  Standbys live on *other* containers, so a
+        #: container crash() leaves them intact — that is what makes
+        #: promotion cheaper than a cold changelog restore.
+        self._standbys: dict[int, list[dict[str, StandbyReplica]]] = {}
+        self._standby_seq: dict[int, int] = {}
+        #: task_id -> {store: changelog end offset at the last checkpoint} —
+        #: the snapshot bound state servers serve at (see repro.serving).
+        self._snapshot_offsets: dict[int, dict[str, int]] = {}
+        self._snapshot_times: dict[int, float] = {}
+        self._m_promotions = metric_name(
+            "serving", "standby", metric_segment(config.name), "promotions"
+        )
+        self._build_standbys()
+        self._seed_snapshots()
         self.running = True
         self.records_processed = 0
         self.records_emitted = 0
@@ -305,6 +350,144 @@ class JobRunner:
         if not producer.in_transaction:
             producer.begin()
         return producer
+
+    # -- standby replicas / snapshots (serving + fast failover) ------------------------
+
+    def _changelogged_stores(self) -> list[StoreConfig]:
+        return [sc for sc in self.config.stores if sc.changelog]
+
+    def _new_standby_set(self, task_id: int) -> dict[str, StandbyReplica]:
+        replica_id = self._standby_seq.get(task_id, 0)
+        self._standby_seq[task_id] = replica_id + 1
+        return {
+            sc.name: StandbyReplica(
+                self.cluster,
+                self.config.name,
+                sc.name,
+                task_id,
+                store_type=sc.store_type,
+                store_options=dict(sc.store_options),
+                isolation=self.isolation,
+                replica_id=replica_id,
+            )
+            for sc in self._changelogged_stores()
+        }
+
+    def _build_standbys(self) -> None:
+        if self.config.num_standby_replicas <= 0 or not self._changelogged_stores():
+            return
+        for task_id in range(self.num_tasks):
+            self._standbys[task_id] = [
+                self._new_standby_set(task_id)
+                for _ in range(self.config.num_standby_replicas)
+            ]
+
+    def _catch_up_standbys(self, task_id: int) -> None:
+        """Warm the task's standbys at a checkpoint boundary.
+
+        This is the only place standbys advance during normal processing:
+        the checkpoint is a deterministic point in the run, so a job drains
+        byte-identically whether it keeps 0 or N standbys, and the standby
+        lag is bounded by the checkpoint interval.  Catch-up latency is
+        *not* charged to the job's poll result — standbys burn other
+        containers' cycles.
+        """
+        for replicas in self._standbys.get(task_id, ()):
+            for replica in replicas.values():
+                try:
+                    replica.catch_up()
+                except MessagingError:
+                    # Changelog leader offline (or chaos in the fetch path):
+                    # the standby stays stale and pays a larger catch-up
+                    # tail at promotion.  Never fail a checkpoint for it.
+                    continue
+
+    def _record_snapshot(self, task_id: int) -> None:
+        """Pin the changelog end offsets that define 'state as of the last
+        checkpoint' — the bound snapshot-consistency reads serve at."""
+        offsets: dict[str, int] = {}
+        try:
+            for sc in self._changelogged_stores():
+                tp = TopicPartition(
+                    changelog_topic_name(self.config.name, sc.name), task_id
+                )
+                offsets[sc.name] = self.cluster.end_offset(tp)
+        except MessagingError:
+            return  # changelog leader offline; keep the previous snapshot
+        self._snapshot_offsets[task_id] = offsets
+        self._snapshot_times[task_id] = self.clock.now()
+
+    def _changelog_offsets_stamp(self, task_id: int) -> dict[str, int] | None:
+        """Changelog end offsets for the checkpoint metadata stamp (``None``
+        when the job has no changelogged stores or a leader is offline)."""
+        stores = self._changelogged_stores()
+        if not stores:
+            return None
+        offsets: dict[str, int] = {}
+        try:
+            for sc in stores:
+                tp = TopicPartition(
+                    changelog_topic_name(self.config.name, sc.name), task_id
+                )
+                offsets[sc.name] = self.cluster.end_offset(tp)
+        except MessagingError:
+            return None
+        return offsets
+
+    def _seed_snapshots(self) -> None:
+        """Initial snapshot bounds: the last checkpoint's durable stamp when
+        one exists, else the changelogs' current end offsets."""
+        for instance in self._tasks:
+            stamped = None
+            for tp in instance.partitions:
+                commit = self.checkpoints.fetch(tp)
+                if commit is not None and commit.metadata:
+                    stamped = commit.metadata.get(CHANGELOG_OFFSETS_KEY)
+                    if stamped is not None:
+                        break
+            if stamped is not None:
+                self._snapshot_offsets[instance.task_id] = dict(stamped)
+                self._snapshot_times[instance.task_id] = self.clock.now()
+            else:
+                self._record_snapshot(instance.task_id)
+
+    def snapshot_offset(self, task_id: int, store_name: str) -> int | None:
+        """Changelog end offset of ``store_name`` at the task's last
+        checkpoint (``None`` if never recorded, e.g. leader offline)."""
+        return self._snapshot_offsets.get(task_id, {}).get(store_name)
+
+    def snapshot_time(self, task_id: int) -> float | None:
+        """Simulated time the task's snapshot bound was last advanced."""
+        return self._snapshot_times.get(task_id)
+
+    def standby_replicas(self, task_id: int) -> list[dict[str, StandbyReplica]]:
+        """The task's live standby sets (possibly empty), freshest first."""
+        return list(self._standbys.get(task_id, ()))
+
+    def promote_standby(
+        self, task_id: int
+    ) -> dict[str, tuple[KeyValueStore, CatchUpStats]] | None:
+        """Consume the task's first standby set: final catch-up tail, then
+        hand each store to the caller (recovery swaps them into the rebuilt
+        task).  Returns ``None`` when the task keeps no standbys.
+
+        Promotion consumes the set win or lose — a fresh cold standby is
+        seeded in its place and warms at the next checkpoint boundaries —
+        so a failed promotion (chaos failpoint, dead changelog leader)
+        falls back to a cold restore rather than retrying a broken replica.
+        """
+        sets = self._standbys.get(task_id)
+        if not sets:
+            return None
+        replicas = sets.pop(0)
+        try:
+            promoted = {
+                name: replica.promote() for name, replica in replicas.items()
+            }
+        finally:
+            sets.append(self._new_standby_set(task_id))
+        self.metrics.counter(self._m_promotions).increment(1)
+        return promoted
 
     # -- processing loop --------------------------------------------------------------
 
@@ -515,6 +698,14 @@ class JobRunner:
             "software_version": self.config.version,
             "task_id": instance.task_id,
         }
+        stamp = self._changelog_offsets_stamp(instance.task_id)
+        if stamp is not None:
+            # Durable record of the changelog positions this checkpoint
+            # covers, so a brand-new runner can seed its snapshot bound from
+            # the offset manager.  Under exactly-once this is a lower bound
+            # (the open transaction's tail lands at commit); the in-memory
+            # post-commit _record_snapshot value is the authoritative bound.
+            metadata[CHANGELOG_OFFSETS_KEY] = stamp
         if self.exactly_once:
             producer = self._txn_producers[instance.task_id]
             if producer.in_transaction:
@@ -532,6 +723,8 @@ class JobRunner:
         else:
             self.checkpoints.commit(dict(instance.positions), metadata)
         instance.records_since_checkpoint = 0
+        self._record_snapshot(instance.task_id)
+        self._catch_up_standbys(instance.task_id)
 
     def checkpoint(self) -> None:
         """Force a checkpoint of every task's positions."""
@@ -578,7 +771,12 @@ class JobRunner:
     # -- failure / recovery (§3.2) ----------------------------------------------------------
 
     def crash(self) -> None:
-        """Simulate a container crash: all in-memory task state is lost."""
+        """Simulate a container crash: all in-memory task state is lost.
+
+        Standby replicas survive — they live on other containers, which is
+        the whole reason :meth:`recover` can promote one instead of
+        replaying the full changelog.
+        """
         self.running = False
         self._tasks = []
 
@@ -590,6 +788,8 @@ class JobRunner:
         self._build_tasks()
         report = restore_job_state(self)
         self.running = True
+        for instance in self._tasks:
+            self._record_snapshot(instance.task_id)
         if self.auto_advance_clock and isinstance(self.clock, SimClock):
             self.clock.advance(report.simulated_seconds)
         return report
@@ -600,7 +800,9 @@ class JobRunner:
         The elastic controller calls this at a checkpoint boundary when a
         scale event moves a task between containers: the in-memory task
         object and its stores are discarded, state is rebuilt from the
-        changelogs, and positions resume from the last checkpoint (which the
+        changelogs (promoting a standby replica when the job keeps them, so
+        the move pays only a catch-up tail), and positions resume from the
+        last checkpoint (which the
         controller takes immediately before, so processing continues exactly
         where it left off — no replay, no skipped records).  The caller is
         responsible for charging ``report.simulated_seconds`` to the clock.
@@ -653,6 +855,7 @@ class JobRunner:
                 linger_messages=self.config.txn_linger_messages,
             )
         instance.last_window_at = self.clock.now()
+        self._record_snapshot(task_id)
         init = getattr(task, "init", None)
         if callable(init):
             init(context)

@@ -78,6 +78,10 @@ class KeyValueState:
     def items(self) -> Iterator[tuple[Any, Any]]:
         return self.store.items()
 
+    def range(self, start: Any = None, end: Any = None) -> Iterator[tuple[Any, Any]]:
+        """Live pairs with ``start <= repr(key) < end`` in key-repr order."""
+        return self.store.range_items(start, end)
+
     def __len__(self) -> int:
         return len(self.store)
 

@@ -29,6 +29,26 @@ from repro.common.records import estimate_size
 _MISSING = object()
 
 
+def _range_filter(
+    items: Iterator[tuple[Any, Any]], start: Any, end: Any
+) -> Iterator[tuple[Any, Any]]:
+    """Filter an already-sort-key-ordered item stream to [start, end).
+
+    Bounds are compared in the stores' native order — the ``repr`` of the
+    key — so range semantics are identical for every store implementation
+    (and for arbitrary hashable keys).  ``None`` means unbounded.
+    """
+    start_key = None if start is None else repr(start)
+    end_key = None if end is None else repr(end)
+    for key, value in items:
+        sort_key = repr(key)
+        if start_key is not None and sort_key < start_key:
+            continue
+        if end_key is not None and sort_key >= end_key:
+            break
+        yield key, value
+
+
 @runtime_checkable
 class KeyValueStore(Protocol):
     """Interface every task-local store implements."""
@@ -42,6 +62,10 @@ class KeyValueStore(Protocol):
     def __contains__(self, key: Any) -> bool: ...
 
     def items(self) -> Iterator[tuple[Any, Any]]: ...
+
+    def range_items(
+        self, start: Any = None, end: Any = None
+    ) -> Iterator[tuple[Any, Any]]: ...
 
     def __len__(self) -> int: ...
 
@@ -70,6 +94,12 @@ class InMemoryStore:
 
     def items(self) -> Iterator[tuple[Any, Any]]:
         return iter(sorted(self._data.items(), key=lambda kv: repr(kv[0])))
+
+    def range_items(
+        self, start: Any = None, end: Any = None
+    ) -> Iterator[tuple[Any, Any]]:
+        """Live pairs with ``start <= repr(key) < end`` in key-repr order."""
+        return _range_filter(self.items(), start, end)
 
     def __len__(self) -> int:
         return len(self._data)
@@ -231,6 +261,19 @@ class LsmStore:
             key, value = merged[sort_key]
             if value is not None:
                 yield key, value
+
+    def range_items(
+        self, start: Any = None, end: Any = None
+    ) -> Iterator[tuple[Any, Any]]:
+        """Live pairs with ``start <= repr(key) < end`` in key-repr order."""
+        return _range_filter(self.items(), start, end)
+
+    def scan_cost(self) -> float:
+        """Simulated cost of one scan pass: memtable plus every run probe."""
+        return (
+            self.cost_model.store_memtable_get
+            + self.cost_model.store_run_get * len(self._runs)
+        )
 
     def __len__(self) -> int:
         return sum(1 for _ in self.items())

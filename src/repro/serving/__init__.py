@@ -1,0 +1,33 @@
+"""State serving: queryable nearline state with standby-backed failover.
+
+The read path over job state (Liquid §5's serving story):
+
+* :class:`~repro.serving.replica.StandbyReplica` — a warm store copy kept
+  current by tailing the changelog; promotion pays only a catch-up tail;
+* :class:`~repro.serving.server.StateServer` — per-task ``get`` / ``range``
+  / ``approximate_count`` with snapshot-at-checkpoint and bounded-staleness
+  modes;
+* :class:`~repro.serving.router.StateQueryRouter` — routes keys to the
+  owning shard with the producer's own partitioner.
+"""
+
+from repro.serving.replica import CatchUpStats, StandbyReplica
+from repro.serving.router import StateQueryRouter
+from repro.serving.server import (
+    CONSISTENCY_BOUNDED,
+    CONSISTENCY_MODES,
+    CONSISTENCY_SNAPSHOT,
+    QueryResult,
+    StateServer,
+)
+
+__all__ = [
+    "CatchUpStats",
+    "StandbyReplica",
+    "StateQueryRouter",
+    "CONSISTENCY_BOUNDED",
+    "CONSISTENCY_MODES",
+    "CONSISTENCY_SNAPSHOT",
+    "QueryResult",
+    "StateServer",
+]

@@ -1,0 +1,221 @@
+"""Standby replicas: hot store copies maintained by tailing the changelog.
+
+Reactive Liquid (arXiv:1902.05968) motivates keeping *warm* copies of task
+state on other containers so that failover and elastic re-placement do not
+cost availability: instead of replaying a store's whole compacted changelog
+from offset 0 (the cold path in :mod:`repro.processing.recovery`), the new
+owner adopts a standby's store and pays only the catch-up *tail* — the
+changelog records published since the standby last caught up.
+
+A :class:`StandbyReplica` is exactly that machinery: a local
+:class:`~repro.processing.store.KeyValueStore` plus a position in one
+changelog partition, advanced by :meth:`catch_up`.  The same class backs
+three consumers of the idea:
+
+* **failover standbys** owned by the job runner (``num_standby_replicas``),
+  kept warm at checkpoint boundaries and promoted on recovery/migration;
+* **snapshot followers** inside a :class:`~repro.serving.server.StateServer`,
+  capped at the last checkpoint's changelog offset for
+  snapshot-at-checkpoint reads;
+* **stale-tolerant serving copies** the
+  :class:`~repro.serving.router.StateQueryRouter` reads for load spreading.
+
+Catch-up reads honour the job's isolation level: under exactly-once the
+changelog is written transactionally, so ``read_committed`` tails only ever
+apply entries whose checkpoint committed — a promoted standby can never
+resurrect state from an aborted transaction.
+
+A retention storm can delete changelog segments a slow standby still needs
+(the same hazard the MirrorMaker fix in PR 8 handled): :meth:`catch_up`
+then *reseats* — clears the store, rewinds to ``beginning_offset`` and
+replays from there — rather than crashing.  On a compacted changelog the
+surviving head carries the latest value per live key, so the reseated
+replay converges to the correct state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.chaos.failpoints import failpoint
+from repro.common.errors import OffsetOutOfRangeError
+from repro.common.metrics import metric_name, metric_segment
+from repro.common.records import TopicPartition
+from repro.processing.state import changelog_topic_name
+from repro.processing.store import KeyValueStore, make_store
+
+
+@dataclass
+class CatchUpStats:
+    """What one catch-up pass applied and what it (simulatedly) cost."""
+
+    records_applied: int = 0
+    simulated_seconds: float = 0.0
+    #: Offsets jumped over because retention deleted them before the replica
+    #: could read them (only ever non-zero on a reseat).
+    records_skipped: int = 0
+    #: Whether the pass had to clear the store and rewind to the beginning.
+    reseated: bool = False
+
+    def merge(self, other: "CatchUpStats") -> None:
+        self.records_applied += other.records_applied
+        self.simulated_seconds += other.simulated_seconds
+        self.records_skipped += other.records_skipped
+        self.reseated = self.reseated or other.reseated
+
+
+class StandbyReplica:
+    """One store copy kept warm by tailing one changelog partition."""
+
+    def __init__(
+        self,
+        cluster,
+        job_name: str,
+        store_name: str,
+        task_id: int,
+        *,
+        store_type: str = "memory",
+        store_options: dict[str, Any] | None = None,
+        isolation: str = "read_uncommitted",
+        replica_id: int = 0,
+        batch: int = 500,
+    ) -> None:
+        self.cluster = cluster
+        self.job_name = job_name
+        self.store_name = store_name
+        self.task_id = task_id
+        self.replica_id = replica_id
+        self.isolation = isolation
+        self.batch = batch
+        self.tp = TopicPartition(
+            changelog_topic_name(job_name, store_name), task_id
+        )
+        self.store: KeyValueStore = make_store(
+            store_type, **(store_options or {})
+        )
+        #: Next changelog offset to apply.  ``None`` until the first
+        #: catch-up seats the replica at the partition's earliest offset.
+        self.position: int | None = None
+        self.records_applied = 0
+        self.reseats = 0
+        #: Simulated time of the last completed catch-up (staleness bound).
+        self.caught_up_at = cluster.clock.now()
+        segment = metric_segment(job_name)
+        metrics = cluster.metrics
+        self._c_applied = metrics.counter(
+            metric_name("serving", "standby", segment, "records_applied")
+        )
+        self._c_reseats = metrics.counter(
+            metric_name("serving", "standby", segment, "reseats")
+        )
+
+    # -- introspection ------------------------------------------------------------
+
+    def lag(self) -> int:
+        """Changelog records published but not yet applied here."""
+        end = self.cluster.end_offset(self.tp)
+        if self.position is None:
+            return end - self.cluster.beginning_offset(self.tp)
+        return max(0, end - self.position)
+
+    # -- the tail loop ------------------------------------------------------------
+
+    def catch_up(
+        self, limit_offset: int | None = None, max_records: int | None = None
+    ) -> CatchUpStats:
+        """Apply changelog records up to the partition end (or ``limit_offset``).
+
+        Deliberately does **not** advance the cluster clock or run
+        replication passes: a standby lives on another container and its
+        reads must not perturb the simulated timeline of the job it shadows
+        (the 0-vs-N-standbys byte-identity property depends on this).  The
+        fetch latencies it pays are reported in the returned stats and the
+        ``serving.standby.*`` instruments, not charged to the job.
+        """
+        failpoint(
+            "serving.catch_up",
+            partition=self.tp,
+            position=self.position,
+            replica=self.replica_id,
+        )
+        stats = CatchUpStats()
+        if self.position is None:
+            self.position = self.cluster.beginning_offset(self.tp)
+        end = self.cluster.end_offset(self.tp)
+        if limit_offset is not None:
+            end = min(end, limit_offset)
+        while self.position < end:
+            if max_records is not None and stats.records_applied >= max_records:
+                break
+            budget = self.batch
+            if max_records is not None:
+                budget = min(budget, max_records - stats.records_applied)
+            try:
+                result = self.cluster.fetch(
+                    self.tp.topic,
+                    self.tp.partition,
+                    self.position,
+                    budget,
+                    isolation=self.isolation,
+                )
+            except OffsetOutOfRangeError:
+                # Retention deleted the range we were about to read.  Reseat
+                # at the surviving head: clear and replay — the compacted
+                # head holds the newest value per live key, so the rebuilt
+                # store converges on the correct state.
+                reseated = self.cluster.beginning_offset(self.tp)
+                stats.records_skipped += max(0, reseated - self.position)
+                stats.reseated = True
+                self.reseats += 1
+                self._c_reseats.increment(1)
+                self.store.clear()
+                self.position = reseated
+                end = self.cluster.end_offset(self.tp)
+                if limit_offset is not None:
+                    end = min(end, limit_offset)
+                continue
+            stats.simulated_seconds += result.latency
+            for record in result.records:
+                if record.offset >= end:
+                    break
+                if record.value is None:
+                    self.store.delete(record.key)
+                else:
+                    self.store.put(record.key, record.value)
+                stats.records_applied += 1
+            if result.next_offset <= self.position:
+                break  # no progress (e.g. everything above the LSO)
+            self.position = min(result.next_offset, end)
+        self.records_applied += stats.records_applied
+        if stats.records_applied:
+            self._c_applied.increment(stats.records_applied)
+        self.caught_up_at = self.cluster.clock.now()
+        return stats
+
+    # -- failover ----------------------------------------------------------------
+
+    def promote(self) -> tuple[KeyValueStore, CatchUpStats]:
+        """Final catch-up, then hand the store to the new task incarnation.
+
+        The returned stats cover only the catch-up *tail* — that is the
+        entire point of standby promotion: recovery pays for the records
+        published since the standby last caught up, not the whole changelog.
+        After promotion the replica no longer owns the store; callers
+        discard it and seed a fresh replacement.
+        """
+        failpoint(
+            "serving.promote",
+            partition=self.tp,
+            position=self.position,
+            replica=self.replica_id,
+        )
+        stats = self.catch_up()
+        return self.store, stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"StandbyReplica({self.job_name!r}/{self.store_name!r}"
+            f"[{self.task_id}]#{self.replica_id}, position={self.position}, "
+            f"applied={self.records_applied})"
+        )

@@ -101,6 +101,147 @@ class HealthReport:
         )
 
 
+# ---------------------------------------------------------------------------
+# Typed admin reports
+#
+# Every report method returns one of these frozen dataclasses: fields for
+# programmatic use, ``as_dict()`` for the loose nested-dict shape the methods
+# used to return (serialization, diffing, older scripts).
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PartitionLag:
+    """One consumer group's standing on one partition."""
+
+    topic: str
+    partition: int
+    committed_offset: int | None
+    end_offset: int
+    lag: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "topic": self.topic,
+            "partition": self.partition,
+            "committed_offset": self.committed_offset,
+            "end_offset": self.end_offset,
+            "lag": self.lag,
+        }
+
+
+@dataclass(frozen=True)
+class GroupLagReport:
+    """Lag standings and smoothed consumption rate of one consumer group."""
+
+    group: str
+    partitions: tuple[PartitionLag, ...]
+    consumption_rate: float
+
+    @property
+    def total_lag(self) -> int:
+        return sum(p.lag for p in self.partitions)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "partitions": [p.as_dict() for p in self.partitions],
+            "total_lag": self.total_lag,
+            "consumption_rate": self.consumption_rate,
+        }
+
+
+@dataclass(frozen=True)
+class ConsumerLagReport:
+    """Lag standings of every known consumer group."""
+
+    groups: tuple[GroupLagReport, ...]
+
+    def group(self, name: str) -> GroupLagReport:
+        for entry in self.groups:
+            if entry.group == name:
+                return entry
+        raise KeyError(
+            f"unknown group {name!r}; known: {[g.group for g in self.groups]}"
+        )
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        return {entry.group: entry.as_dict() for entry in self.groups}
+
+
+@dataclass(frozen=True)
+class OpenTransaction:
+    """The coordinator's view of one still-open transaction."""
+
+    transactional_id: str
+    producer_id: int
+    epoch: int
+    partitions: tuple[str, ...]
+    pending_offsets: int
+    decided: str | None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "transactional_id": self.transactional_id,
+            "producer_id": self.producer_id,
+            "epoch": self.epoch,
+            "partitions": list(self.partitions),
+            "pending_offsets": self.pending_offsets,
+            "decided": self.decided,
+        }
+
+
+@dataclass(frozen=True)
+class TransactionReport:
+    """Open transactions, the LSO lag they impose, lifecycle counters."""
+
+    open_transactions: tuple[OpenTransaction, ...]
+    #: ``str(TopicPartition) -> high_watermark - last_stable_offset`` for
+    #: every partition where an open transaction holds records back.
+    lso_lag: dict[str, int]
+    #: ``messaging.transactions.*`` counter values, keyed by short name.
+    counters: dict[str, float]
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "open_transactions": [t.as_dict() for t in self.open_transactions],
+            "lso_lag": dict(self.lso_lag),
+            "counters": dict(self.counters),
+        }
+
+
+@dataclass(frozen=True)
+class StageLatency:
+    """Latency percentiles of one traced stage."""
+
+    stage: str
+    count: int
+    p50: float
+    p99: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {"count": float(self.count), "p50": self.p50, "p99": self.p99}
+
+
+@dataclass(frozen=True)
+class StageLatencyReport:
+    """Per-stage latency percentiles from the tracing layer's spans."""
+
+    stages: tuple[StageLatency, ...]
+
+    def stage(self, name: str) -> StageLatency:
+        for entry in self.stages:
+            if entry.stage == name:
+                return entry
+        raise KeyError(
+            f"unknown stage {name!r}; known: {[s.stage for s in self.stages]}"
+        )
+
+    def __bool__(self) -> bool:
+        return bool(self.stages)
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        return {entry.stage: entry.as_dict() for entry in self.stages}
+
+
 class AdminClient:
     """Read-only operational views over a messaging cluster."""
 
@@ -204,7 +345,7 @@ class AdminClient:
             for group in sorted(self.cluster.offset_manager.groups())
         }
 
-    def consumer_lag_report(self, alpha: float = 0.3) -> dict[str, dict[str, Any]]:
+    def consumer_lag_report(self, alpha: float = 0.3) -> ConsumerLagReport:
         """Per-group lag standings with smoothed consumption rates.
 
         For every known group: per-partition committed offset, end offset,
@@ -214,13 +355,15 @@ class AdminClient:
         elasticity layer's autoscaler acts on, and the numbers behind an
         ``all_group_lags`` summary when an on-call engineer needs to know
         *which* partition is behind and whether the group is gaining.
+        Returns a typed :class:`ConsumerLagReport`
+        (``.as_dict()`` restores the legacy nested-dict shape).
         """
         from repro.elasticity.lagmonitor import Ewma
 
         manager = self.cluster.offset_manager
-        report: dict[str, dict[str, Any]] = {}
+        groups: list[GroupLagReport] = []
         for group in sorted(manager.groups()):
-            partitions: list[dict[str, Any]] = []
+            partitions: list[PartitionLag] = []
             rate_ewma = Ewma(alpha)
             for entry in self.consumer_lag(group):
                 for elapsed, advanced in manager.consumption_deltas(
@@ -228,20 +371,22 @@ class AdminClient:
                 ):
                     rate_ewma.update(advanced / elapsed)
                 partitions.append(
-                    {
-                        "topic": entry.partition.topic,
-                        "partition": entry.partition.partition,
-                        "committed_offset": entry.committed_offset,
-                        "end_offset": entry.end_offset,
-                        "lag": entry.lag,
-                    }
+                    PartitionLag(
+                        topic=entry.partition.topic,
+                        partition=entry.partition.partition,
+                        committed_offset=entry.committed_offset,
+                        end_offset=entry.end_offset,
+                        lag=entry.lag,
+                    )
                 )
-            report[group] = {
-                "partitions": partitions,
-                "total_lag": sum(p["lag"] for p in partitions),
-                "consumption_rate": rate_ewma.value,
-            }
-        return report
+            groups.append(
+                GroupLagReport(
+                    group=group,
+                    partitions=tuple(partitions),
+                    consumption_rate=rate_ewma.value,
+                )
+            )
+        return ConsumerLagReport(groups=tuple(groups))
 
     # -- health -------------------------------------------------------------------------------
 
@@ -263,7 +408,7 @@ class AdminClient:
 
     # -- transactions -------------------------------------------------------------------------------
 
-    def transaction_report(self) -> dict[str, Any]:
+    def transaction_report(self) -> TransactionReport:
         """Open transactions and the LSO lag they impose, per partition.
 
         ``open_transactions`` is the coordinator's view (id, producer id,
@@ -271,7 +416,8 @@ class AdminClient:
         every partition whose last stable offset trails its high watermark —
         records a ``read_committed`` consumer cannot see yet because an
         open transaction holds them back.  Lifecycle counters come from the
-        ``messaging.transactions.*`` instruments.
+        ``messaging.transactions.*`` instruments.  Returns a typed
+        :class:`TransactionReport` (``.as_dict()`` restores the legacy shape).
         """
         from repro.messaging.transactions import get_transaction_coordinator
 
@@ -292,45 +438,60 @@ class AdminClient:
             for name in metrics.names()
             if name.startswith("messaging.transactions.")
         }
-        return {
-            "open_transactions": coordinator.open_transactions(),
-            "lso_lag": dict(sorted(lso_lag.items())),
-            "counters": counters,
-        }
+        return TransactionReport(
+            open_transactions=tuple(
+                OpenTransaction(
+                    transactional_id=txn["transactional_id"],
+                    producer_id=txn["producer_id"],
+                    epoch=txn["epoch"],
+                    partitions=tuple(txn["partitions"]),
+                    pending_offsets=txn["pending_offsets"],
+                    decided=txn["decided"],
+                )
+                for txn in coordinator.open_transactions()
+            ),
+            lso_lag=dict(sorted(lso_lag.items())),
+            counters=counters,
+        )
 
     # -- tracing ------------------------------------------------------------------------------------
 
     def stage_latency_report(
         self, tracer: "Tracer | None" = None
-    ) -> dict[str, dict[str, float]]:
+    ) -> StageLatencyReport:
         """Per-stage latency percentiles from the tracing layer's spans.
 
         Groups the tracer's retained spans by stage name and reports
         count/p50/p99 simulated seconds for each — the per-record complement
         to the aggregate ``*_latency`` histograms in the metrics registry.
-        Uses the installed tracer when none is passed; returns ``{}`` when
-        tracing is off or nothing was retained.
+        Uses the installed tracer when none is passed; the report is empty
+        (falsy) when tracing is off or nothing was retained.  Returns a
+        typed :class:`StageLatencyReport` (``.as_dict()`` restores the
+        legacy shape).
         """
         from repro.common.metrics import Histogram
         from repro.observability.trace import current_tracer
 
         tracer = tracer if tracer is not None else current_tracer()
         if tracer is None:
-            return {}
+            return StageLatencyReport(stages=())
         by_stage: dict[str, Histogram] = {}
         for span in tracer.spans():
             histogram = by_stage.get(span.name)
             if histogram is None:
                 histogram = by_stage[span.name] = Histogram(span.name)
             histogram.observe(span.duration)
-        return {
-            name: {
-                "count": float(histogram.count),
-                "p50": histogram.percentile(50),
-                "p99": histogram.percentile(99),
-            }
-            for name, histogram in sorted(by_stage.items())
-        }
+        return StageLatencyReport(
+            stages=tuple(
+                StageLatency(
+                    stage=name,
+                    count=histogram.count,
+                    p50=histogram.percentile(50),
+                    p99=histogram.percentile(99),
+                )
+                for name, histogram in sorted(by_stage.items())
+            )
+        )
 
     # -- rendering ---------------------------------------------------------------------------------
 

@@ -1,0 +1,216 @@
+"""Integration: queryable state across failover, chaos, and standby counts.
+
+Three seeded scenarios probe the serving subsystem's acceptance bar:
+
+* crash → recover promotes a standby per task and the router keeps
+  answering exactly what the stores hold;
+* chaos armed on the promotion/catch-up failpoints degrades recovery to
+  the cold path without losing correctness;
+* a job's drained output is byte-identical (offsets, keys, values,
+  timestamps, final clock) with 0 and 2 standby replicas — keeping warm
+  copies must never perturb the processing timeline.
+"""
+
+import random
+
+import pytest
+
+from repro.chaos.failpoints import raising, registry
+from repro.common.clock import SimClock
+from repro.common.errors import MessagingError
+from repro.common.partitioning import partition_for_key
+from repro.messaging.cluster import MessagingCluster
+from repro.messaging.producer import Producer
+from repro.processing.job import JobConfig, JobRunner, StoreConfig
+from repro.serving import StateQueryRouter
+
+SEEDS = [101, 202, 303]
+KEYS = [f"user-{i}" for i in range(12)]
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    registry().disarm_all()
+    yield
+    registry().disarm_all()
+
+
+class CountingEmitTask:
+    """Per-key event counter that also emits each new count downstream."""
+
+    def init(self, context):
+        self.store = context.store("counts")
+
+    def process(self, record, collector):
+        count = (self.store.get(record.key) or 0) + 1
+        self.store.put(record.key, count)
+        collector.send("out", count, key=record.key)
+
+
+def build(seed, standbys, name="served"):
+    clock = SimClock()
+    cluster = MessagingCluster(num_brokers=3, clock=clock)
+    cluster.create_topic("in", num_partitions=3, replication_factor=3)
+    cluster.create_topic("out", num_partitions=3, replication_factor=3)
+    producer = Producer(cluster)
+    runner = JobRunner(
+        JobConfig(
+            name=name,
+            inputs=["in"],
+            task_factory=CountingEmitTask,
+            stores=[StoreConfig("counts")],
+            changelog_replication=3,
+            num_standby_replicas=standbys,
+        ),
+        cluster,
+    )
+    return clock, cluster, producer, runner
+
+
+def workload(seed, phases=4, per_phase=40):
+    """Deterministic keyed phases; the model is the per-key total count."""
+    rng = random.Random(seed)
+    return [
+        [rng.choice(KEYS) for _ in range(per_phase)] for _ in range(phases)
+    ]
+
+
+def assert_router_matches_stores(runner):
+    """Routed answers must be byte-identical to direct raw-store reads."""
+    router = StateQueryRouter(runner)
+    for key in KEYS:
+        task_id = partition_for_key(key, runner.num_tasks)
+        direct = runner.task(task_id).stores["counts"].get(key)
+        assert router.get("counts", key).value == direct
+    merged = dict(router.range("counts").value)
+    direct_all = {
+        k: v
+        for instance in runner.tasks()
+        for k, v in instance.stores["counts"].items()
+    }
+    assert merged == direct_all
+    assert router.approximate_count("counts").value == len(direct_all)
+
+
+def drain(cluster, topic="out", partitions=3):
+    """Every output record as comparable (partition, offset, key, value, ts)."""
+    records = []
+    for partition in range(partitions):
+        offset = 0
+        while True:
+            result = cluster.fetch(topic, partition, offset, 500)
+            if not result.records:
+                break
+            for record in result.records:
+                records.append(
+                    (partition, record.offset, record.key, record.value,
+                     record.timestamp)
+                )
+            offset = result.next_offset
+    return records
+
+
+class TestFailoverServing:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_promotion_failover_keeps_queries_exact(self, seed):
+        _clock, cluster, producer, runner = build(seed, standbys=2)
+        phases = workload(seed)
+        model: dict = {}
+        for phase in phases[:2]:
+            for key in phase:
+                producer.send("in", {"e": 1}, key=key)
+                model[key] = model.get(key, 0) + 1
+            runner.run_until_idle()
+            runner.checkpoint()
+        runner.crash()
+        report = runner.recover()
+        assert report.standby_promotions() == runner.num_tasks
+        assert_router_matches_stores(runner)
+        # Keep processing after the failover; totals stay exact.
+        for phase in phases[2:]:
+            for key in phase:
+                producer.send("in", {"e": 1}, key=key)
+                model[key] = model.get(key, 0) + 1
+            runner.run_until_idle()
+            runner.checkpoint()
+        router = StateQueryRouter(runner)
+        for key, total in model.items():
+            assert router.get("counts", key).value == total
+            # The replacement standbys re-warmed at the checkpoints above,
+            # so stale-tolerant reads are exact again too.
+            stale = router.get("counts", key, allow_stale=True)
+            assert stale.served_by == "standby"
+            assert stale.value == total
+        assert_router_matches_stores(runner)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chaos_on_promotion_degrades_to_cold_restore(self, seed):
+        _clock, cluster, producer, runner = build(seed, standbys=2)
+        model: dict = {}
+        for phase in workload(seed, phases=2):
+            for key in phase:
+                producer.send("in", {"e": 1}, key=key)
+                model[key] = model.get(key, 0) + 1
+            runner.run_until_idle()
+            runner.checkpoint()
+        runner.crash()
+        rng = random.Random(seed)
+        registry().arm(
+            "serving.promote",
+            raising(lambda: MessagingError("chaos: promote")),
+            probability=0.5,
+            rng=rng,
+        )
+        registry().arm(
+            "serving.catch_up",
+            raising(lambda: MessagingError("chaos: catch up")),
+            probability=0.5,
+            rng=rng,
+        )
+        report = runner.recover()
+        registry().disarm_all()
+        # However many promotions the chaos let through, state is exact.
+        assert report.stores_restored >= runner.num_tasks
+        router = StateQueryRouter(runner)
+        for key, total in model.items():
+            assert router.get("counts", key).value == total
+        assert_router_matches_stores(runner)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_broker_churn_between_phases(self, seed):
+        """Standby catch-up must shrug off a changelog leader going away."""
+        _clock, cluster, producer, runner = build(seed, standbys=1)
+        model: dict = {}
+        for i, phase in enumerate(workload(seed, phases=3)):
+            for key in phase:
+                producer.send("in", {"e": 1}, key=key)
+                model[key] = model.get(key, 0) + 1
+            runner.run_until_idle()
+            cluster.kill_broker(i % 3)
+            runner.checkpoint()  # standby catch-up failures are swallowed
+            cluster.restart_broker(i % 3)
+            cluster.run_until_replicated()
+        router = StateQueryRouter(runner)
+        for key, total in model.items():
+            assert router.get("counts", key).value == total
+        assert_router_matches_stores(runner)
+
+
+class TestStandbysAreFree:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_output_byte_identical_with_and_without_standbys(self, seed):
+        """num_standby_replicas must not change one emitted byte or tick."""
+        outputs = {}
+        clocks = {}
+        for standbys in (0, 2):
+            clock, cluster, producer, runner = build(seed, standbys=standbys)
+            for phase in workload(seed):
+                for key in phase:
+                    producer.send("in", {"e": 1}, key=key)
+                runner.run_until_idle()
+                runner.checkpoint()
+            outputs[standbys] = drain(cluster)
+            clocks[standbys] = clock.now()
+        assert outputs[0] == outputs[2]
+        assert clocks[0] == clocks[2]
+        assert len(outputs[0]) == 4 * 40  # every input produced one output

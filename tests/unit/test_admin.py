@@ -136,12 +136,11 @@ class TestConsumerLagReport:
             cluster.offset_manager.commit("etl", tp, offset)
             cluster.clock.advance(1.0)
         report = admin.consumer_lag_report(alpha=1.0)
-        assert set(report) == {"etl"}
-        entry = report["etl"]
-        assert entry["total_lag"] == 10
-        assert entry["consumption_rate"] == pytest.approx(10.0)
-        partitions = entry["partitions"]
-        assert partitions == [
+        assert [g.group for g in report.groups] == ["etl"]
+        entry = report.group("etl")
+        assert entry.total_lag == 10
+        assert entry.consumption_rate == pytest.approx(10.0)
+        assert [p.as_dict() for p in entry.partitions] == [
             {
                 "topic": "t",
                 "partition": 0,
@@ -150,6 +149,10 @@ class TestConsumerLagReport:
                 "lag": 10,
             }
         ]
+        # as_dict() restores the legacy nested-dict shape end to end.
+        legacy = report.as_dict()
+        assert legacy["etl"]["total_lag"] == 10
+        assert legacy["etl"]["partitions"][0]["end_offset"] == 40
 
     def test_idle_group_has_zero_rate(self):
         cluster, admin = make_env()
@@ -158,8 +161,8 @@ class TestConsumerLagReport:
             producer.send("t", i, partition=0)
         cluster.offset_manager.commit("idle", TopicPartition("t", 0), 0)
         report = admin.consumer_lag_report()
-        assert report["idle"]["consumption_rate"] == 0.0
-        assert report["idle"]["total_lag"] == 5
+        assert report.group("idle").consumption_rate == 0.0
+        assert report.group("idle").total_lag == 5
 
     def test_deltas_back_the_rate(self):
         cluster, _admin = make_env()

@@ -19,6 +19,7 @@ from repro.messaging.config import (
 )
 from repro.messaging.consumer import Consumer
 from repro.messaging.producer import Producer
+from repro.processing.job import JobConfig, JobConfigError, StoreConfig
 
 
 @pytest.fixture
@@ -175,3 +176,71 @@ class TestLiquidFactories:
         assert producer.linger_messages == 4
         with pytest.raises(ConfigError):
             liquid.producer(linger=4)
+
+    def test_legacy_kwargs_warn_once_per_factory(self, monkeypatch):
+        import repro.core.liquid as liquid_module
+
+        monkeypatch.setattr(liquid_module, "_LEGACY_KWARGS_WARNED", set())
+        liquid = Liquid(num_brokers=1)
+        liquid.create_feed("f", partitions=1)
+        with pytest.warns(DeprecationWarning, match="ProducerConfig"):
+            liquid.producer(linger_messages=4)
+        with pytest.warns(DeprecationWarning, match="ConsumerConfig"):
+            liquid.consumer(max_poll_messages=3)
+        # The notice is one-shot: a second legacy call stays silent.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            liquid.producer(linger_messages=2)
+            liquid.consumer(max_poll_messages=5)
+
+    def test_config_objects_do_not_warn(self, monkeypatch):
+        import repro.core.liquid as liquid_module
+        import warnings as warnings_module
+
+        monkeypatch.setattr(liquid_module, "_LEGACY_KWARGS_WARNED", set())
+        liquid = Liquid(num_brokers=1)
+        liquid.create_feed("f", partitions=1)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            liquid.producer(config=ProducerConfig(linger_messages=4))
+            liquid.consumer(config=ConsumerConfig(max_poll_messages=3))
+
+
+class TestJobConfigParity:
+    """Job-layer configs reject unknown keywords like the client configs."""
+
+    def test_job_config_from_kwargs_unknown_rejected(self):
+        with pytest.raises(ConfigError) as exc:
+            JobConfig.from_kwargs(
+                name="j", inputs=["in"], task_factory=object, standby_replicas=2
+            )
+        assert "standby_replicas" in str(exc.value)
+        assert "num_standby_replicas" in str(exc.value)  # names the fix
+
+    def test_job_config_from_kwargs_roundtrip(self):
+        config = JobConfig.from_kwargs(
+            name="j", inputs=["in"], task_factory=object, num_standby_replicas=2
+        )
+        assert config.num_standby_replicas == 2
+
+    def test_store_config_from_kwargs_unknown_rejected(self):
+        with pytest.raises(ConfigError) as exc:
+            StoreConfig.from_kwargs(name="table", kind="lsm")
+        assert "kind" in str(exc.value)
+        assert "store_type" in str(exc.value)
+
+    def test_store_config_validation(self):
+        with pytest.raises(JobConfigError):
+            StoreConfig(name="")
+        with pytest.raises(JobConfigError):
+            StoreConfig(name="table", store_type="rocksdb")
+        assert StoreConfig.from_kwargs(name="t", store_type="lsm").store_type == "lsm"
+
+    def test_negative_standby_replicas_rejected(self):
+        with pytest.raises(JobConfigError):
+            JobConfig(
+                name="j", inputs=["in"], task_factory=object,
+                num_standby_replicas=-1,
+            )

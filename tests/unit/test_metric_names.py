@@ -58,6 +58,7 @@ class TestMetricNameHelper:
             "storage",
             "processing",
             "elasticity",
+            "serving",
             "core",
             "tools",
         )
@@ -164,6 +165,43 @@ def _exercise_elasticity() -> MetricsRegistry:
     return cluster.metrics
 
 
+def _exercise_serving() -> MetricsRegistry:
+    """Query job state through the router so serving.* instruments register."""
+    from repro.processing.job import JobRunner, StoreConfig
+    from repro.serving import StateQueryRouter
+
+    class _Counting:
+        def init(self, context):
+            self.store = context.store("counts")
+
+        def process(self, record, collector):
+            self.store.put(record.key, (self.store.get(record.key) or 0) + 1)
+
+    cluster = MessagingCluster(num_brokers=1)
+    cluster.create_topic("in", num_partitions=1, replication_factor=1)
+    producer = Producer(cluster)
+    for i in range(20):
+        producer.send("in", {"i": i}, key=f"k{i % 4}")
+    runner = JobRunner(
+        JobConfig(
+            name="served-job",  # dash on purpose: exercises metric_segment
+            inputs=["in"],
+            task_factory=_Counting,
+            stores=[StoreConfig("counts")],
+            num_standby_replicas=1,
+        ),
+        cluster,
+    )
+    runner.run_until_idle()
+    runner.checkpoint()
+    router = StateQueryRouter(runner)
+    router.get("counts", "k1")
+    router.get("counts", "k1", allow_stale=True)
+    runner.crash()
+    runner.recover()
+    return cluster.metrics
+
+
 class TestRegistryConvention:
     def test_full_stack_registers_only_conventional_names(self):
         registry = _exercise_stack()
@@ -196,5 +234,14 @@ class TestRegistryConvention:
         assert "elasticity.controller.elastic_job.containers" in names
         assert "elasticity.controller.elastic_job.scale_outs" in names
         assert "elasticity.lag_monitor.job_elastic_job.lag" in names
+        offenders = [n for n in names if not is_conventional(n)]
+        assert offenders == []
+
+    def test_serving_names_are_conventional(self):
+        names = _exercise_serving().names()
+        assert "serving.router.served_job.queries" in names
+        assert "serving.router.served_job.stale_served" in names
+        assert "serving.router.served_job.query_latency" in names
+        assert "serving.standby.served_job.promotions" in names
         offenders = [n for n in names if not is_conventional(n)]
         assert offenders == []

@@ -257,7 +257,7 @@ class TestAdminReport:
     def test_stage_latency_report(self):
         liquid, tracer, _records = _traced_pipeline()
         report = AdminClient(liquid.cluster).stage_latency_report(tracer)
-        assert set(report) >= {
+        assert {s.stage for s in report.stages} >= {
             "produce.send",
             "broker.append",
             "replication.replicate",
@@ -265,14 +265,20 @@ class TestAdminReport:
             "job.process",
             "consumer.poll",
         }
-        for stats in report.values():
-            assert stats["count"] >= 1
-            assert stats["p99"] >= stats["p50"] >= 0.0
+        for stats in report.stages:
+            assert stats.count >= 1
+            assert stats.p99 >= stats.p50 >= 0.0
+        # as_dict() restores the legacy nested-dict shape.
+        legacy = report.as_dict()
+        assert legacy["job.process"]["count"] == float(
+            report.stage("job.process").count
+        )
 
     def test_report_uses_installed_tracer_by_default(self):
         liquid = Liquid(num_brokers=1)
         admin = AdminClient(liquid.cluster)
-        assert admin.stage_latency_report() == {}
+        assert not admin.stage_latency_report()
+        assert admin.stage_latency_report().as_dict() == {}
         with tracing() as tracer:
             tracer.record("stage", TraceContext("t", 0), 0.0, 1.0)
-            assert admin.stage_latency_report()["stage"]["count"] == 1.0
+            assert admin.stage_latency_report().stage("stage").count == 1

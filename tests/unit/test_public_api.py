@@ -40,6 +40,16 @@ EXPECTED_API = sorted(
         "JobRunner",
         "AT_LEAST_ONCE",
         "EXACTLY_ONCE",
+        "RecoveryReport",
+        "RestoredStore",
+        # serving
+        "StateQueryRouter",
+        "StateServer",
+        "StandbyReplica",
+        "CatchUpStats",
+        "QueryResult",
+        "CONSISTENCY_BOUNDED",
+        "CONSISTENCY_SNAPSHOT",
         # elasticity
         "LagMonitor",
         "LagSample",
@@ -62,6 +72,13 @@ EXPECTED_API = sorted(
         "render_timeline",
         # tools / metrics
         "AdminClient",
+        "ConsumerLagReport",
+        "GroupLagReport",
+        "PartitionLag",
+        "TransactionReport",
+        "OpenTransaction",
+        "StageLatencyReport",
+        "StageLatency",
         "MetricsRegistry",
         "metric_name",
         # records / time
@@ -76,6 +93,7 @@ EXPECTED_API = sorted(
         "MessagingError",
         "ProcessingError",
         "SerdeError",
+        "ServingError",
         "AuthorizationError",
         "TransactionError",
         "ProducerFencedError",

@@ -4,7 +4,14 @@ from repro.common.clock import SimClock
 from repro.messaging.cluster import MessagingCluster
 from repro.messaging.producer import Producer
 from repro.processing.job import JobConfig, JobRunner, StoreConfig
-from repro.processing.recovery import restore_job_state, restore_state
+from repro.processing.recovery import (
+    SOURCE_CHANGELOG,
+    SOURCE_STANDBY,
+    RecoveryReport,
+    RestoredStore,
+    restore_job_state,
+    restore_state,
+)
 from repro.processing.state import KeyValueState, changelog_topic_name
 from repro.processing.store import InMemoryStore
 
@@ -125,3 +132,87 @@ class TestRestoreJobState:
         ]
         assert restored == snapshot
         assert sum(len(s) for s in restored) == 30
+
+
+class TestRecoveryReportEntries:
+    """The typed per-store entries a RecoveryReport carries."""
+
+    def test_restore_state_records_one_entry(self):
+        _clock, cluster, _runner = make_env()
+        fresh = KeyValueState("table", InMemoryStore())
+        report = restore_state(cluster, "j", "table", 0, fresh)
+        assert len(report.entries) == 1
+        entry = report.entries[0]
+        assert entry.store == "table"
+        assert entry.task_id == 0
+        assert entry.source == SOURCE_CHANGELOG
+        assert entry.records_replayed == report.records_replayed
+        assert entry.label == "table[0]"
+        # Back-compat dict view mirrors the typed entries.
+        assert report.per_store == {"table[0]": report.records_replayed}
+
+    def test_job_restore_reports_every_task(self):
+        clock = SimClock()
+        cluster = MessagingCluster(num_brokers=1, clock=clock)
+        cluster.create_topic("in", num_partitions=2, replication_factor=1)
+        producer = Producer(cluster)
+        for i in range(20):
+            producer.send("in", {"rev": i}, key=f"k{i}")
+        runner = JobRunner(
+            JobConfig(
+                name="ent", inputs=["in"], task_factory=UpsertTask,
+                stores=[StoreConfig("table")],
+            ),
+            cluster,
+        )
+        runner.run_until_idle()
+        runner.checkpoint()
+        report = restore_job_state(runner)
+        assert {(e.store, e.task_id) for e in report.entries} == {
+            ("table", 0), ("table", 1),
+        }
+        assert all(e.source == SOURCE_CHANGELOG for e in report.entries)
+        assert report.standby_promotions() == 0
+        assert report.stores_restored == 2
+
+    def test_standby_recovery_marks_entries_promoted(self):
+        clock = SimClock()
+        cluster = MessagingCluster(num_brokers=1, clock=clock)
+        cluster.create_topic("in", num_partitions=1, replication_factor=1)
+        producer = Producer(cluster)
+        for i in range(20):
+            producer.send("in", {"rev": i}, key=f"k{i % 4}")
+        runner = JobRunner(
+            JobConfig(
+                name="sb", inputs=["in"], task_factory=UpsertTask,
+                stores=[StoreConfig("table")], num_standby_replicas=1,
+            ),
+            cluster,
+        )
+        runner.run_until_idle()
+        runner.checkpoint()
+        snapshot = dict(runner.task(0).stores["table"].items())
+        runner.crash()
+        report = runner.recover()
+        assert dict(runner.task(0).stores["table"].items()) == snapshot
+        assert [e.source for e in report.entries] == [SOURCE_STANDBY]
+        assert report.standby_promotions() == 1
+        # Standbys are caught up at the checkpoint, so the tail is empty.
+        assert report.entries[0].records_replayed == 0
+
+    def test_merge_accumulates_entries_and_totals(self):
+        a = RecoveryReport()
+        a.add(RestoredStore(
+            store="s1", task_id=0, records_replayed=5, simulated_seconds=0.5,
+        ))
+        b = RecoveryReport()
+        b.add(RestoredStore(
+            store="s2", task_id=1, records_replayed=3, simulated_seconds=0.25,
+            source=SOURCE_STANDBY, records_skipped=2,
+        ))
+        a.merge(b)
+        assert a.records_replayed == 8
+        assert a.simulated_seconds == 0.75
+        assert a.stores_restored == 2
+        assert a.standby_promotions() == 1
+        assert a.per_store == {"s1[0]": 5, "s2[1]": 3}
