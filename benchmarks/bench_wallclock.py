@@ -385,6 +385,90 @@ def bench_exactly_once(messages: int, repeats: int) -> dict:
     }
 
 
+def _telemetry_job_run(
+    messages: int, interval: float | None
+) -> tuple[float, float, float, int]:
+    """One pipeline-job drain, optionally with the telemetry exporter armed;
+    returns (wall seconds, exporter publish wall seconds, simulated
+    seconds, export cycles fired)."""
+    import gc
+
+    from repro.observability.telemetry import TelemetryExporter
+
+    # Earlier kernels leave the young generation near a collection
+    # threshold; start each arm from the same GC state so a pass doesn't
+    # land in one arm only.
+    gc.collect()
+    cluster = MessagingCluster(num_brokers=3, clock=SimClock())
+    cluster.create_topic("in", num_partitions=2, replication_factor=3)
+    cluster.create_topic("out", num_partitions=2, replication_factor=3)
+    producer = Producer(cluster, acks=ACKS_LEADER, linger_messages=LINGER)
+    for i in range(messages):
+        producer.send("in", {"i": i}, key=f"k{i % 100}", partition=i % 2)
+    producer.flush()
+    cluster.run_until_replicated()
+    runner = JobRunner(
+        JobConfig(
+            name="bench",
+            inputs=["in"],
+            task_factory=_BenchTagTask,
+            checkpoint_interval=500,
+        ),
+        cluster,
+    )
+    exporter = None
+    if interval is not None:
+        exporter = TelemetryExporter(cluster, interval=interval)
+        exporter.start()
+    sim_start = cluster.clock.now()
+    start = time.perf_counter()
+    runner.run_until_idle()
+    wall = time.perf_counter() - start
+    publish_wall = exporter.publish_wall_s if exporter is not None else 0.0
+    cycles = exporter.cycles if exporter is not None else 0
+    return wall, publish_wall, cluster.clock.now() - sim_start, cycles
+
+
+def bench_telemetry(messages: int, repeats: int) -> dict:
+    """The pipeline job with the telemetry exporter off vs. on.
+
+    The headline number is ``telemetry_overhead``: how much wall time the
+    exporter added to the monitored run, measured *within* that run — the
+    exporter self-times its publish cycles (``publish_wall_s``), so the
+    workload portion and the exporter portion share identical machine
+    conditions and the ratio is stable where a cross-run off/on quotient
+    drowns in scheduler noise.  Acceptance ceiling 1.05x: metric deltas are
+    O(instruments) per cycle, not O(records), so self-observation must stay
+    inside 5%.  ``off_s``/``on_s`` (cross-run, best-of) are reported for
+    context.  The export interval adapts to the workload: ~32 cycles
+    across the job's simulated duration, so shrinking ``--quick`` counts
+    cannot shrink the exporter's duty cycle.
+    """
+    repeats = max(repeats, 3)
+    _, _pub, sim_duration, _c = _telemetry_job_run(messages, None)  # warm
+    interval = max(sim_duration / 32, 1e-6)
+    best_off, best_on = float("inf"), float("inf")
+    overhead = float("inf")
+    cycles = 0
+    for _ in range(repeats):
+        off_wall, _pub, _sim, _c = _telemetry_job_run(messages, None)
+        best_off = min(best_off, off_wall)
+        on_wall, publish_wall, _sim, cycles = _telemetry_job_run(
+            messages, interval
+        )
+        best_on = min(best_on, on_wall)
+        overhead = min(overhead, on_wall / max(on_wall - publish_wall, 1e-12))
+    return {
+        "messages": messages,
+        "off_s": round(best_off, 6),
+        "on_s": round(best_on, 6),
+        "msgs_per_s": round(messages / best_on),
+        "export_interval_s": round(interval, 9),
+        "export_cycles": cycles,
+        "telemetry_overhead": round(overhead, 3),
+    }
+
+
 def _compare(messages: int, per_record_s: float, batched_s: float,
              simulated_s: float) -> dict:
     return {
@@ -411,12 +495,14 @@ def run_all(quick: bool) -> dict:
         ("compress_pipeline", bench_compress_pipeline),
         ("fetch_prefetch", bench_fetch_prefetch),
         ("exactly_once_job", bench_exactly_once),
+        ("telemetry", bench_telemetry),
     ):
         if name in (
             "pipeline_e2e",
             "compress_pipeline",
             "fetch_prefetch",
             "exactly_once_job",
+            "telemetry",
         ):
             count = max(messages // 5, 2_000)
         else:
@@ -498,6 +584,11 @@ def main(argv: list[str] | None = None) -> int:
              "of at-least-once on the pipeline kernel (acceptance: 1.5)",
     )
     parser.add_argument(
+        "--max-telemetry-overhead", type=float, default=None,
+        help="fail if the telemetry-on pipeline run is this many times "
+             "slower than telemetry-off (acceptance: 1.05)",
+    )
+    parser.add_argument(
         "--baseline", type=pathlib.Path, default=None,
         help="recorded report to compare throughput against "
              "(e.g. the committed BENCH_hotpath.json)",
@@ -533,6 +624,16 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: exactly-once overhead {overhead}x above ceiling "
             f"{args.max_eo_overhead}x"
+        )
+        return 1
+    telemetry = report["kernels"]["telemetry"]["telemetry_overhead"]
+    if (
+        args.max_telemetry_overhead is not None
+        and telemetry > args.max_telemetry_overhead
+    ):
+        print(
+            f"FAIL: telemetry overhead {telemetry}x above ceiling "
+            f"{args.max_telemetry_overhead}x"
         )
         return 1
     if args.baseline is not None:

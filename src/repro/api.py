@@ -20,7 +20,9 @@ Grouped by role:
 * **elasticity** — the lag-driven autoscaling loop
   (:class:`LagMonitor` → :class:`ScalingPolicy` →
   :class:`ElasticJobController`) and the :class:`BackpressureValve`;
-* **observability** — the tracer and its install/query helpers;
+* **observability** — the tracer and its install/query helpers, the
+  self-hosted telemetry exporter and its reserved feeds, SLO burn-rate
+  monitoring, and the cluster health rollup;
 * **records / time** — the record types, :class:`TopicPartition`,
   :class:`SimClock`, :class:`CostModel`;
 * **errors** — the root :class:`LiquidError` plus the error types callers
@@ -74,6 +76,25 @@ from repro.messaging.config import (
 from repro.messaging.consumer import Consumer
 from repro.messaging.producer import Producer
 from repro.messaging.transactions import TransactionalProducer
+from repro.observability.health import (
+    ClusterHealthReport,
+    HealthReason,
+    evaluate_cluster_health,
+)
+from repro.observability.slo import (
+    Alert,
+    ClusterSloSampler,
+    Slo,
+    SloMonitor,
+    standard_slos,
+)
+from repro.observability.telemetry import (
+    TELEMETRY_ALERTS_FEED,
+    TELEMETRY_METRICS_FEED,
+    TELEMETRY_SPANS_FEED,
+    TelemetryExporter,
+    is_telemetry_feed,
+)
 from repro.observability.trace import (
     Span,
     TraceContext,
@@ -163,6 +184,20 @@ __all__ = [
     "TraceQuery",
     "SpanNode",
     "render_timeline",
+    # telemetry / SLOs / health
+    "TelemetryExporter",
+    "TELEMETRY_METRICS_FEED",
+    "TELEMETRY_SPANS_FEED",
+    "TELEMETRY_ALERTS_FEED",
+    "is_telemetry_feed",
+    "SloMonitor",
+    "Slo",
+    "Alert",
+    "ClusterSloSampler",
+    "standard_slos",
+    "ClusterHealthReport",
+    "HealthReason",
+    "evaluate_cluster_health",
     # tools / metrics
     "AdminClient",
     "ConsumerLagReport",

@@ -6,8 +6,10 @@ job does is countable and timeable.  The registry is also how benchmarks
 collect simulated latencies: components record observations, the harness
 reads percentiles.
 
-Kept intentionally simple (plain lists, no reservoir sampling) because runs
-are bounded and determinism matters more than constant memory.
+Kept intentionally simple: histograms store plain lists by default because
+runs are bounded and determinism matters more than constant memory.  Long
+soaks can opt into a deterministic bounded reservoir (``max_samples`` with
+keep-every-k decimation); the default path is byte-for-byte unchanged.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ METRIC_LAYERS = (
     "processing",
     "elasticity",
     "serving",
+    "observability",
     "core",
     "tools",
 )
@@ -96,6 +99,10 @@ class Counter:
     def value(self) -> float:
         return self._value
 
+    def reset(self) -> None:
+        """Zero the count in place (the instrument object survives)."""
+        self._value = 0.0
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Counter({self.name}={self._value})"
 
@@ -119,6 +126,10 @@ class Gauge:
     def value(self) -> float:
         return self._value
 
+    def reset(self) -> None:
+        """Zero the gauge in place (the instrument object survives)."""
+        self._value = 0.0
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Gauge({self.name}={self._value})"
 
@@ -129,19 +140,75 @@ class Histogram:
     Percentiles use linear interpolation between closest ranks, matching
     ``numpy.percentile``'s default, so report numbers are stable across
     implementations.
+
+    By default every observation is retained (deterministic, exact).  For
+    long soaks, ``max_samples`` bounds memory with keep-every-k decimation:
+    once the retained list would exceed the bound, every second retained
+    sample is dropped and only every ``k``-th future observation is kept
+    (``k`` doubles on each decimation).  Count/total/min/max stay exact in
+    bounded mode; percentiles are computed over the retained thinning.
     """
 
-    __slots__ = ("name", "_values", "_sorted")
+    __slots__ = (
+        "name",
+        "max_samples",
+        "_values",
+        "_sorted",
+        "_count",
+        "_total",
+        "_min",
+        "_max",
+        "_keep_every",
+        "_delta",
+    )
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, max_samples: int | None = None) -> None:
+        if max_samples is not None and max_samples < 2:
+            raise ConfigError(
+                f"histogram {name!r}: max_samples must be >= 2, got {max_samples}"
+            )
         self.name = name
+        self.max_samples = max_samples
         self._values: list[float] = []
         self._sorted = True
+        # Exact aggregates, maintained only in bounded mode; the default
+        # (unbounded) hot path computes them from ``_values`` as before.
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._keep_every = 1
+        # Observations since the last delta_snapshot(); None until the first
+        # call arms delta tracking, so untelemetered runs pay one branch.
+        self._delta: list[float] | None = None
 
     def observe(self, value: float) -> None:
+        if self._delta is not None:
+            self._delta.append(value)
+        if self.max_samples is None:
+            if self._values and value < self._values[-1]:
+                self._sorted = False
+            self._values.append(value)
+            return
+        self._observe_bounded(value)
+
+    def _observe_bounded(self, value: float) -> None:
+        self._count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if (self._count - 1) % self._keep_every:
+            return
         if self._values and value < self._values[-1]:
             self._sorted = False
         self._values.append(value)
+        if len(self._values) > self.max_samples:
+            # Keep every second retained sample (a deterministic uniform
+            # thinning whether the list is in arrival or sorted order).
+            self._values = self._values[::2]
+            self._keep_every *= 2
 
     def observe_many(self, values: Iterable[float]) -> None:
         for value in values:
@@ -149,25 +216,38 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        if self.max_samples is None:
+            return len(self._values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return math.fsum(self._values)
+        # While undecimated the reservoir still holds every observation, so
+        # the exactly-rounded fsum keeps bounded mode byte-identical to
+        # unbounded; only after the first decimation does the running
+        # accumulator (naive adds) take over.
+        if self.max_samples is None or self._keep_every == 1:
+            return math.fsum(self._values)
+        return self._total
 
     @property
     def mean(self) -> float:
-        if not self._values:
+        count = self.count
+        if not count:
             return 0.0
-        return self.total / len(self._values)
+        return self.total / count
 
     @property
     def min(self) -> float:
-        return min(self._values) if self._values else 0.0
+        if self.max_samples is None:
+            return min(self._values) if self._values else 0.0
+        return self._min if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return max(self._values) if self._values else 0.0
+        if self.max_samples is None:
+            return max(self._values) if self._values else 0.0
+        return self._max if self._count else 0.0
 
     def percentile(self, pct: float) -> float:
         """Return the ``pct``-th percentile (0-100) of observations."""
@@ -201,12 +281,66 @@ class Histogram:
             "max": self.max,
         }
 
+    def delta_snapshot(self) -> dict[str, float]:
+        """Summary of the observations made since the previous call.
+
+        The first call arms delta tracking and covers the histogram's whole
+        history; every later call summarizes only the window since the call
+        before it.  The telemetry exporter publishes these windows so each
+        export cycle carries fresh percentiles, not an ever-flattening
+        lifetime aggregate.
+        """
+        pending = self._delta
+        self._delta = []
+        if pending is None:
+            return self.snapshot()
+        if not pending:
+            return dict(_EMPTY_SUMMARY)
+        return _summarize(pending)
+
+    def discard_delta(self) -> None:
+        """Drop the pending delta window without summarizing it.
+
+        Arms delta tracking if it was off (so history up to this point is
+        excluded from the next window, exactly like ``delta_snapshot``).
+        O(1); the telemetry exporter uses this to absorb observations its
+        own sends generated — summarizing a window just to throw it away
+        would put registry-walk cost on every export cycle.
+        """
+        self._delta = []
+
+    def reset(self) -> None:
+        """Drop all observations in place (the instrument object survives)."""
+        self._values.clear()
+        self._sorted = True
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._keep_every = 1
+        if self._delta is not None:
+            self._delta = []
+
     def values(self) -> list[float]:
         """Copy of raw observations (benchmarks fit curves on these)."""
         return list(self._values)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Histogram({self.name}, n={self.count}, mean={self.mean:.6g})"
+
+
+#: What ``snapshot()`` reports for a histogram with no observations.
+_EMPTY_SUMMARY = {
+    "count": 0.0, "mean": 0.0, "min": 0.0,
+    "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+}
+
+
+def _summarize(values: list[float]) -> dict[str, float]:
+    """Snapshot-shaped summary of a plain list of observations."""
+    scratch = Histogram("delta")
+    scratch.observe_many(values)
+    return scratch.snapshot()
 
 
 class MetricsRegistry:
@@ -225,8 +359,20 @@ class MetricsRegistry:
     def gauge(self, name: str) -> Gauge:
         return self._get_or_create(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get_or_create(name, Histogram)
+    def histogram(self, name: str, max_samples: int | None = None) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is None:
+            created = Histogram(name, max_samples=max_samples)
+            self._metrics[name] = created
+            return created
+        if not isinstance(existing, Histogram):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(existing).__name__}, requested Histogram"
+            )
+        # max_samples only applies at creation; later callers get the
+        # instrument as configured by whoever registered it first.
+        return existing
 
     def _get_or_create(self, name: str, cls: type) -> "Counter | Gauge | Histogram":
         existing = self._metrics.get(name)
@@ -264,5 +410,23 @@ class MetricsRegistry:
                 out[name] = metric.value
         return out
 
+    def reset(self) -> None:
+        """Zero every instrument in place.
+
+        Call sites hoist instruments to module/instance attributes (the hot
+        path pays only an attribute load), so dropping entries from the
+        registry would leave those live references diverged from what the
+        registry reports.  Resetting in place keeps both views consistent.
+        """
+        for metric in self._metrics.values():
+            metric.reset()
+
     def clear(self) -> None:
-        self._metrics.clear()
+        """Deprecated alias for :meth:`reset`.
+
+        The old behavior (``dict.clear()``) orphaned every hoisted
+        instrument: components kept counting into objects the registry no
+        longer knew about.  Kept as an alias so old call sites get the safe
+        semantics instead of the divergence.
+        """
+        self.reset()

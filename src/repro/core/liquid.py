@@ -30,7 +30,7 @@ from repro.messaging.config import ConsumerConfig, ProducerConfig
 from repro.messaging.consumer import Consumer
 from repro.messaging.consumer_group import GroupCoordinator
 from repro.messaging.producer import Producer
-from repro.messaging.topic import TopicConfig
+from repro.messaging.topic import SYSTEM_TOPIC_PREFIX, TopicConfig, is_system_topic
 from repro.processing.containers import IsolatedHost, ResourceQuota
 from repro.processing.dataflow import Dataflow
 from repro.processing.job import JobConfig, JobRunner
@@ -96,6 +96,8 @@ class Liquid:
         self.host = IsolatedHost(cores=host_cores, isolation=isolation)
         self.acl = AccessController(enabled=access_control)
         self._job_quotas: dict[str, ResourceQuota] = {}
+        #: Set by :meth:`enable_telemetry`.
+        self.telemetry = None
 
     # -- feeds -------------------------------------------------------------------------
 
@@ -108,6 +110,12 @@ class Liquid:
         **topic_kwargs: Any,
     ) -> Feed:
         """Create a source-of-truth feed (topic + registry entry)."""
+        if is_system_topic(name):
+            raise ConfigError(
+                f"feed name {name!r} is reserved: the "
+                f"{SYSTEM_TOPIC_PREFIX!r} namespace belongs to system "
+                f"feeds (offsets, telemetry)"
+            )
         if self.acl.enabled:
             self.acl.authorize(principal, OP_CREATE, name)
         if replication_factor is None:
@@ -295,6 +303,55 @@ class Liquid:
         return IncrementalFold(
             self.cluster, feed, group, init, fold, version=version
         )
+
+    # -- self-hosted telemetry (§5.1) --------------------------------------------------------------
+
+    def enable_telemetry(
+        self,
+        interval: float = 5.0,
+        tracer=None,
+        with_slos: bool = False,
+        servers: Iterable = (),
+    ):
+        """Turn on the self-hosted telemetry pipeline.
+
+        Creates the reserved ``__telemetry.*`` topics, registers them as
+        source-of-truth feeds (so monitoring jobs can consume them like any
+        other feed — the monitor is just another job), and starts a
+        :class:`~repro.observability.telemetry.TelemetryExporter` on the
+        sim-clock cadence.  With ``with_slos=True`` the exporter also
+        samples the standard SLO signals (freshness, lag, ISR availability,
+        standby staleness) from this deployment's jobs each cycle and
+        publishes burn-rate alerts.  Jobs submitted *after* this call can
+        be watched by appending their runners to
+        ``exporter.sampler.runners``.
+        """
+        from repro.observability.slo import attach_standard_slos
+        from repro.observability.telemetry import TELEMETRY_FEEDS, TelemetryExporter
+
+        sampler = None
+        monitor = None
+        if with_slos:
+            monitor, sampler = attach_standard_slos(
+                self.cluster,
+                runners=self.dataflow.runners(),
+                servers=servers,
+            )
+        exporter = TelemetryExporter(
+            self.cluster,
+            interval=interval,
+            tracer=tracer,
+            slo_monitor=monitor,
+            sampler=sampler,
+        )
+        # Register directly with the registry: create_feed refuses the
+        # system namespace for users, but these feeds *are* the system's.
+        for feed in TELEMETRY_FEEDS:
+            if feed not in self.feeds:
+                self.feeds.register_source(feed)
+        exporter.start()
+        self.telemetry = exporter
+        return exporter
 
     # -- operations ------------------------------------------------------------------------------------
 

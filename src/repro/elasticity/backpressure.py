@@ -138,6 +138,15 @@ class BackpressureValve:
         self.state = target
         self._g_throttle.set(self._budget_scale())
 
+    def status(self) -> dict:
+        """Machine-readable view of the valve for health/telemetry rollups."""
+        return {
+            "state": self.state,
+            "last_lag": self.last_lag,
+            "last_memory_ratio": self.last_memory_ratio,
+            "budget_scale": self._budget_scale(),
+        }
+
     def _budget_scale(self) -> float:
         if self.state == VALVE_CLOSED:
             return 0.0

@@ -25,6 +25,17 @@ from repro.storage.tiered.config import TieredConfig
 CLEANUP_DELETE = "delete"
 CLEANUP_COMPACT = "compact"
 
+#: Topics in this namespace are owned by the system itself — consumer
+#: offsets, telemetry feeds — and are excluded from user-facing defaults
+#: (lag-based health rules skip ``__``-prefixed groups, ``Liquid.create_feed``
+#: refuses the namespace).
+SYSTEM_TOPIC_PREFIX = "__"
+
+
+def is_system_topic(name: str) -> bool:
+    """True for system-owned topics (``__liquid_offsets``, ``__telemetry.*``)."""
+    return name.startswith(SYSTEM_TOPIC_PREFIX)
+
 
 @dataclass(frozen=True)
 class TopicConfig:

@@ -191,6 +191,17 @@ class Tracer:
         """All retained spans, in completion order."""
         return list(self._spans)
 
+    def drain(self) -> list[Span]:
+        """Remove and return all retained spans, in completion order.
+
+        The telemetry exporter calls this each cycle so every span is
+        shipped exactly once; ``spans_recorded`` keeps counting across
+        drains.
+        """
+        spans = list(self._spans)
+        self._spans.clear()
+        return spans
+
     def spans_for(self, trace_id: str) -> list[Span]:
         """Retained spans of one trace, ordered by (start, span id)."""
         found = [s for s in self._spans if s.trace_id == trace_id]

@@ -189,6 +189,12 @@ class JobRunner:
         self._m_record_age = metric_name(
             "processing", "job", metric_segment(config.name), "record_age"
         )
+        # Freshness stamp: a hoisted gauge (safe now that registry.reset()
+        # zeroes in place) tracking the age of the last record processed —
+        # the end-to-end signal the SLO monitor samples on its cadence.
+        self._g_freshness = self.metrics.gauge(metric_name(
+            "processing", "job", metric_segment(config.name), "freshness"
+        ))
         # Retry jitter seeded from the job name, not the process-global
         # producer id: a job's send latencies must replay identically no
         # matter how many producers other code created first.
@@ -667,6 +673,7 @@ class JobRunner:
         age = self.clock.now() - record.timestamp
         if age >= 0:
             self.metrics.histogram(self._m_record_age).observe(age)
+            self._g_freshness.set(age)
         if span is not None:
             # CPU cost is charged to the pass latency, not the clock yet;
             # the span still records it so stage breakdowns see task time.
@@ -754,6 +761,14 @@ class JobRunner:
             for tp, position in instance.positions.items():
                 pending += max(0, self.cluster.end_offset(tp) - position)
         return pending
+
+    def freshness(self) -> float:
+        """Age (simulated seconds) of the last record this job processed.
+
+        0.0 until the first record; sampled by the SLO monitor as the
+        end-to-end freshness signal.
+        """
+        return self._g_freshness.value
 
     def task(self, task_id: int) -> _TaskInstance:
         return self._tasks[task_id]

@@ -143,6 +143,19 @@ class StateServer:
         )
         return follower.store, lag, staleness_seconds
 
+    def standby_staleness(self) -> dict[str, int]:
+        """Worst changelog lag per store across this task's standby sets.
+
+        Empty when the task keeps no standbys.  The SLO monitor and the
+        cluster health rollup read this to judge how stale a failover or a
+        stale-tolerant read would be right now.
+        """
+        worst: dict[str, int] = {}
+        for replicas in self.runner.standby_replicas(self.task_id):
+            for store, replica in replicas.items():
+                worst[store] = max(worst.get(store, 0), replica.lag())
+        return worst
+
     def _standby_store(self, store: str) -> tuple[Any, int, float] | None:
         """A warm standby's store for stale-tolerant reads, or ``None``."""
         sets = self.runner.standby_replicas(self.task_id)

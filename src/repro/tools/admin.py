@@ -15,7 +15,7 @@ under-replicated partitions, and lagging consumers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.common.errors import TopicNotFoundError
 from repro.common.metrics import metric_name
@@ -29,6 +29,7 @@ _M_WIRE_BYTES = metric_name("messaging", "cluster", "bytes_on_wire")
 _M_PREFETCH_HITS = metric_name("messaging", "consumer", "prefetch_hits")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.health import ClusterHealthReport
     from repro.observability.trace import Tracer
 
 
@@ -405,6 +406,36 @@ class AdminClient:
                 if entry.lag > max_group_lag:
                     report.lagging_groups.append(entry)
         return report
+
+    def cluster_health_report(
+        self,
+        runners: Iterable = (),
+        valves: Iterable = (),
+        servers: Iterable = (),
+        **thresholds: Any,
+    ) -> "ClusterHealthReport":
+        """The full health rollup: one status, machine-readable reasons.
+
+        Extends :meth:`health_check` beyond messaging: pass the
+        deployment's job ``runners`` (standby staleness), backpressure
+        ``valves``, and state ``servers`` and the verdict covers broker
+        liveness, ISR state, consumer lag, open transactions, valve state,
+        and standby staleness in one typed
+        :class:`~repro.observability.health.ClusterHealthReport`
+        (``healthy`` / ``degraded`` / ``unhealthy``; ``.as_dict()`` for
+        serialization).  Threshold knobs (``max_group_lag``,
+        ``max_standby_staleness``, ``max_lso_lag``) pass through to
+        :func:`~repro.observability.health.evaluate_cluster_health`.
+        """
+        from repro.observability.health import evaluate_cluster_health
+
+        return evaluate_cluster_health(
+            self.cluster,
+            runners=runners,
+            valves=valves,
+            servers=servers,
+            **thresholds,
+        )
 
     # -- transactions -------------------------------------------------------------------------------
 

@@ -1,0 +1,119 @@
+"""Lint: every metric name registered by library code follows the convention.
+
+The convention is ``layer.component.metric`` (see
+:func:`repro.common.metrics.metric_name`); tests pin it for the subsystems
+they exercise, but a new instrument in a rarely-driven path could slip in
+with an ad-hoc name.  Two checks, run by CI after the test suite:
+
+1. **Static** — every ``.counter("..."`` / ``.gauge("..."`` /
+   ``.histogram("..."`` call in library code with a *literal* name must
+   pass :func:`is_conventional`.  Names built via ``metric_name(...)`` are
+   checked at build time by the helper itself.
+2. **Dynamic** — drive a small full-stack deployment (produce, process,
+   consume, telemetry export) and assert the resulting registry contains
+   only conventional names, minus an explicit allowlist for test/scratch
+   names (``--allow name`` may extend it).
+
+Exit status 0 when clean; 1 with a report of offenders otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+from repro.common.metrics import is_conventional
+
+#: Literal-name instrument registrations: ``registry.counter("...")`` etc.
+_LITERAL_CALL = re.compile(
+    r"\.\s*(?:counter|gauge|histogram)\s*\(\s*(['\"])([^'\"]+)\1"
+)
+
+#: Library paths exempt from the static scan: this linter and the metrics
+#: module itself (its docstrings/examples mention short names).
+_ALLOWED_PATHS = ("repro/tools/lint_metrics.py", "repro/common/metrics.py")
+
+#: Registered names that are allowed to break the convention.  Empty today;
+#: test/scratch names belong here (or in ``--allow``) if a future dynamic
+#: exercise needs one.
+DEFAULT_ALLOWLIST: frozenset[str] = frozenset()
+
+
+def find_static_offenders(src_root: Path) -> list[str]:
+    """Library lines registering a non-conventional literal metric name."""
+    offenders: list[str] = []
+    for path in sorted(src_root.rglob("*.py")):
+        relative = path.relative_to(src_root).as_posix()
+        if relative in _ALLOWED_PATHS:
+            continue
+        for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            stripped = line.split("#", 1)[0]
+            for match in _LITERAL_CALL.finditer(stripped):
+                name = match.group(2)
+                if not is_conventional(name):
+                    offenders.append(f"{relative}:{lineno}: {line.strip()}")
+    return offenders
+
+
+def find_runtime_offenders(allow: frozenset[str] = DEFAULT_ALLOWLIST) -> list[str]:
+    """Non-conventional names registered by a representative deployment."""
+    from repro.core.liquid import Liquid
+    from repro.processing.job import JobConfig
+
+    class _PassThrough:
+        def process(self, record, collector):
+            collector.send("derived", record.value, key=record.key)
+
+    liquid = Liquid(num_brokers=3)
+    liquid.enable_telemetry(interval=0.5, with_slos=True)
+    liquid.create_feed("source", partitions=1)
+    liquid.submit_job(
+        JobConfig(name="lint-job", inputs=["source"], task_factory=_PassThrough),
+        outputs=["derived"],
+    )
+    producer = liquid.producer()
+    for i in range(10):
+        producer.send("source", {"i": i}, key=f"k{i}")
+    producer.flush()
+    liquid.process_available()
+    liquid.tick(2.0)  # fire at least one telemetry export cycle
+    return sorted(
+        name
+        for name in liquid.cluster.metrics.names()
+        if name not in allow and not is_conventional(name)
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(argv if argv is not None else sys.argv[1:])
+    allow = set(DEFAULT_ALLOWLIST)
+    paths: list[str] = []
+    while args:
+        arg = args.pop(0)
+        if arg == "--allow":
+            if not args:
+                print("lint_metrics: --allow needs a name", file=sys.stderr)
+                return 2
+            allow.add(args.pop(0))
+        else:
+            paths.append(arg)
+    src_root = Path(paths[0]) if paths else Path(__file__).resolve().parents[2]
+    offenders = find_static_offenders(src_root)
+    runtime = find_runtime_offenders(frozenset(allow))
+    if offenders:
+        print("metric lint: library code registers non-conventional literals:")
+        for offender in offenders:
+            print(f"  {offender}")
+    if runtime:
+        print(f"metric lint: non-conventional names at runtime: {runtime}")
+    if offenders or runtime:
+        return 1
+    print("metric lint: OK (every registered name is layer.component.metric)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

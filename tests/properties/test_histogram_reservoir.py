@@ -1,0 +1,111 @@
+"""Property: the bounded histogram reservoir is exact until it decimates.
+
+``Histogram(max_samples=K)`` keeps memory bounded by keep-every-k
+decimation.  Two guarantees are pinned here:
+
+1. **Undecimated == unbounded.**  While fewer than K samples have
+   arrived, the bounded histogram is *byte-identical* to an unbounded
+   one: same percentiles at every rank, same snapshot.  Decimation must
+   be invisible until it actually happens.
+2. **Bounded-mode sanity.**  After decimation the scalar aggregates
+   (count, total, mean, min, max) stay exact — they are maintained
+   outside the reservoir — the retained sample count respects the bound,
+   and percentiles still fall inside [min, max].
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.metrics import Histogram
+
+samples = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=200,
+)
+percentiles = st.sampled_from([0, 1, 25, 50, 75, 90, 99, 99.9, 100])
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=samples, pct=percentiles)
+def test_undecimated_bounded_matches_unbounded_exactly(values, pct):
+    unbounded = Histogram("h")
+    bounded = Histogram("h", max_samples=len(values) + 1)  # never decimates
+    unbounded.observe_many(values)
+    bounded.observe_many(values)
+    assert bounded.percentile(pct) == unbounded.percentile(pct)
+    assert bounded.snapshot() == unbounded.snapshot()
+    assert bounded.count == unbounded.count
+    assert bounded.total == unbounded.total
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=samples, max_samples=st.sampled_from([2, 4, 8, 16]))
+def test_decimated_scalars_stay_exact(values, max_samples):
+    bounded = Histogram("h", max_samples=max_samples)
+    bounded.observe_many(values)
+    assert bounded.count == len(values)
+    # While the reservoir has never decimated it still holds every sample
+    # and total is the exactly-rounded fsum (the byte-identity guarantee);
+    # after the first decimation the naive arrival-order accumulator takes
+    # over, which matches sum() exactly (same fold order from 0.0).
+    decimated = bounded._keep_every > 1
+    expected_total = sum(values) if decimated else math.fsum(values)
+    assert bounded.total == expected_total
+    assert bounded.min == min(values)
+    assert bounded.max == max(values)
+    assert bounded.mean == expected_total / len(values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=samples, max_samples=st.sampled_from([2, 4, 8, 16]))
+def test_reservoir_respects_the_bound(values, max_samples):
+    bounded = Histogram("h", max_samples=max_samples)
+    bounded.observe_many(values)
+    assert len(bounded._values) <= max_samples
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    values=samples,
+    max_samples=st.sampled_from([2, 4, 8, 16]),
+    pct=percentiles,
+)
+def test_decimated_percentiles_stay_in_range(values, max_samples, pct):
+    bounded = Histogram("h", max_samples=max_samples)
+    bounded.observe_many(values)
+    estimate = bounded.percentile(pct)
+    assert min(values) <= estimate <= max(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=samples, max_samples=st.sampled_from([4, 8]))
+def test_decimation_is_deterministic(values, max_samples):
+    """Same inputs, same reservoir — keep-every-k is not sampling."""
+    a = Histogram("h", max_samples=max_samples)
+    b = Histogram("h", max_samples=max_samples)
+    a.observe_many(values)
+    b.observe_many(values)
+    assert a._values == b._values
+    assert a.snapshot() == b.snapshot()
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=samples)
+def test_delta_snapshot_is_invisible_to_percentiles(values):
+    """Arming delta tracking (what the exporter does) must not change
+    what percentile() reports — deltas are tracked out-of-band."""
+    plain = Histogram("h")
+    tracked = Histogram("h")
+    tracked.delta_snapshot()  # arm
+    split = len(values) // 2
+    tracked.observe_many(values[:split])
+    tracked.delta_snapshot()  # consume a window mid-stream
+    tracked.observe_many(values[split:])
+    plain.observe_many(values)
+    assert tracked.percentile(99) == plain.percentile(99)
+    assert tracked.snapshot() == plain.snapshot()

@@ -1,0 +1,124 @@
+"""Property: telemetry observes, it never steers.
+
+A run with the exporter enabled must be indistinguishable from a run
+without it in everything a job or consumer can see: same delivered
+records (partition, offset, key, value, timestamp, size, headers) and
+the same simulated clock.  The mechanisms under test are (a) the export
+timer firing *inside* ``cluster.tick`` without advancing the clock, and
+(b) the exporter's own producer being created after the workload's, so
+producer ids never shift.
+
+The metric registry is deliberately NOT compared: exporting moves
+messaging counters by design.  What must not move is the data plane.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.records import TopicPartition
+from repro.core.liquid import Liquid
+from repro.messaging.config import ProducerConfig
+from repro.processing.job import JobConfig
+
+
+class _EnrichTask:
+    def process(self, record, collector):
+        collector.send(
+            "derived", {"v": record.value, "k": record.key}, key=record.key
+        )
+
+
+def _run(records, linger, telemetry, interval, with_slos=False):
+    """One produce -> tick -> job -> tick -> consume pass."""
+    liquid = Liquid(num_brokers=1)
+    liquid.create_feed("source", partitions=2)
+    liquid.submit_job(
+        JobConfig(name="enrich", inputs=["source"], task_factory=_EnrichTask),
+        outputs=["derived"],
+    )
+    producer = liquid.producer(
+        config=ProducerConfig(linger_messages=linger, retry_jitter_seed=0)
+    )
+    # The exporter comes up last, exactly as in a real deployment where
+    # monitoring attaches to an already-wired pipeline.  (Its producer
+    # takes the next global producer id; creating it earlier would shift
+    # the workload's ids and make runs trivially incomparable.)
+    if telemetry:
+        liquid.enable_telemetry(interval=interval, with_slos=with_slos)
+
+    for key, value in records:
+        producer.send("source", value, key=key)
+    producer.flush()
+    liquid.tick(interval * 1.5)  # at least one export cycle mid-flight
+    liquid.process_available()
+    liquid.tick(interval * 2.0)  # export cycles after the job ran
+    consumer = liquid.consumer()
+    consumer.assign([TopicPartition("derived", 0), TopicPartition("derived", 1)])
+    out = []
+    while True:
+        batch = consumer.poll()
+        if not batch:
+            break
+        out.extend(batch)
+    return {
+        "records": [
+            (
+                r.topic,
+                r.partition,
+                r.offset,
+                r.key,
+                r.value,
+                r.timestamp,
+                r.size,
+                dict(r.headers),
+            )
+            for r in out
+        ],
+        "clock": liquid.cluster.clock.now(),
+    }
+
+
+record_lists = st.lists(
+    st.tuples(
+        st.sampled_from(["a", "bb", "ccc", "dddd"]),
+        st.integers(min_value=0, max_value=999),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    records=record_lists,
+    linger=st.sampled_from([1, 3]),
+    interval=st.sampled_from([0.5, 2.0]),
+)
+def test_telemetry_run_is_byte_identical_to_plain_run(
+    records, linger, interval
+):
+    baseline = _run(records, linger, telemetry=False, interval=interval)
+    monitored = _run(records, linger, telemetry=True, interval=interval)
+    assert monitored == baseline
+
+
+@settings(max_examples=8, deadline=None)
+@given(records=record_lists, linger=st.sampled_from([1, 3]))
+def test_telemetry_with_slos_is_still_transparent(records, linger):
+    """The SLO sampler reads lag/ISR/freshness each cycle — all read-only
+    paths, so arming it must not perturb the data plane either."""
+    baseline = _run(records, linger, telemetry=False, interval=1.0)
+    monitored = _run(
+        records, linger, telemetry=True, interval=1.0, with_slos=True
+    )
+    assert monitored == baseline
+
+
+@settings(max_examples=8, deadline=None)
+@given(records=record_lists, interval=st.sampled_from([0.5, 2.0]))
+def test_monitored_runs_agree_with_each_other(records, interval):
+    """Two monitored runs of the same workload are identical too — the
+    exporter itself is deterministic on the sim clock."""
+    first = _run(records, 1, telemetry=True, interval=interval)
+    second = _run(records, 1, telemetry=True, interval=interval)
+    assert first == second

@@ -59,6 +59,7 @@ class TestMetricNameHelper:
             "processing",
             "elasticity",
             "serving",
+            "observability",
             "core",
             "tools",
         )
@@ -234,6 +235,21 @@ class TestRegistryConvention:
         assert "elasticity.controller.elastic_job.containers" in names
         assert "elasticity.controller.elastic_job.scale_outs" in names
         assert "elasticity.lag_monitor.job_elastic_job.lag" in names
+        offenders = [n for n in names if not is_conventional(n)]
+        assert offenders == []
+
+    def test_telemetry_names_are_conventional(self):
+        liquid = Liquid(num_brokers=1)
+        liquid.enable_telemetry(interval=0.5, with_slos=True)
+        liquid.create_feed("source", partitions=1)
+        producer = liquid.producer()
+        for i in range(5):
+            producer.send("source", {"i": i})
+        producer.flush()
+        liquid.tick(1.0)  # fire at least one export cycle
+        names = liquid.cluster.metrics.names()
+        assert "observability.telemetry.export_cycles" in names
+        assert "observability.telemetry.metric_records" in names
         offenders = [n for n in names if not is_conventional(n)]
         assert offenders == []
 

@@ -118,8 +118,45 @@ class TestRegistry:
         assert snap["c"] == 2
         assert snap["h"]["count"] == 1
 
-    def test_clear(self):
+    def test_reset_zeroes_in_place(self):
         registry = MetricsRegistry()
-        registry.counter("c")
+        registry.counter("c").increment(5)
+        registry.gauge("g").set(3.0)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        assert len(registry) == 3  # instruments survive
+        assert registry.counter("c").value == 0.0
+        assert registry.gauge("g").value == 0.0
+        assert registry.histogram("h").count == 0
+
+    def test_reset_keeps_hoisted_references_live(self):
+        """Regression: clear() used to drop instruments from the registry
+        while call sites kept counting into the orphaned objects, so the
+        registry and the live instruments disagreed forever after."""
+        registry = MetricsRegistry()
+        hoisted = registry.counter("hot.path.counter")
+        hoisted.increment(10)
+        registry.reset()
+        hoisted.increment(3)
+        # The hoisted reference and the registry see the same instrument.
+        assert registry.counter("hot.path.counter") is hoisted
+        assert registry.get("hot.path.counter").value == 3.0
+        assert registry.snapshot()["hot.path.counter"] == 3.0
+
+    def test_clear_is_a_reset_alias(self):
+        registry = MetricsRegistry()
+        hoisted = registry.counter("c")
+        hoisted.increment(7)
         registry.clear()
-        assert len(registry) == 0
+        assert len(registry) == 1
+        assert hoisted.value == 0.0
+        assert registry.counter("c") is hoisted
+
+    def test_histogram_reset_rearms_delta_tracking(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        histogram.delta_snapshot()  # arm
+        histogram.observe(2.0)
+        histogram.reset()
+        histogram.observe(5.0)
+        assert histogram.delta_snapshot()["count"] == 1

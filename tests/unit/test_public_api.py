@@ -70,6 +70,20 @@ EXPECTED_API = sorted(
         "TraceQuery",
         "SpanNode",
         "render_timeline",
+        # telemetry / SLOs / health
+        "TelemetryExporter",
+        "TELEMETRY_METRICS_FEED",
+        "TELEMETRY_SPANS_FEED",
+        "TELEMETRY_ALERTS_FEED",
+        "is_telemetry_feed",
+        "SloMonitor",
+        "Slo",
+        "Alert",
+        "ClusterSloSampler",
+        "standard_slos",
+        "ClusterHealthReport",
+        "HealthReason",
+        "evaluate_cluster_health",
         # tools / metrics
         "AdminClient",
         "ConsumerLagReport",

@@ -1,0 +1,279 @@
+"""SLO burn-rate monitoring: windows, edges, hysteresis, edge cases.
+
+The satellite checklist pins the awkward corners explicitly: empty
+windows must burn nothing, clock jumps (checkpoint/failover gaps) must
+not wedge a firing alert, and the hysteresis band must prevent flapping
+when a signal hovers at the boundary.
+"""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import ConfigError
+from repro.observability.slo import (
+    ABOVE,
+    ALERT_FIRING,
+    ALERT_RESOLVED,
+    BELOW,
+    ClusterSloSampler,
+    Slo,
+    SloMonitor,
+    standard_slos,
+)
+
+
+def make_monitor(**overrides) -> tuple[SimClock, SloMonitor, Slo]:
+    clock = SimClock()
+    monitor = SloMonitor(clock)
+    spec = dict(
+        name="latency",
+        signal="p99_seconds",
+        objective=1.0,
+        direction=BELOW,
+        short_window=10.0,
+        long_window=60.0,
+        error_budget=0.1,
+        burn_threshold=2.0,
+        clear_threshold=1.0,
+    )
+    spec.update(overrides)
+    slo = monitor.register(Slo(**spec))
+    return clock, monitor, slo
+
+
+class TestSloSpec:
+    def test_direction_validation(self):
+        with pytest.raises(ConfigError):
+            Slo(name="x", signal="s", objective=1.0, direction="sideways")
+
+    def test_budget_validation(self):
+        with pytest.raises(ConfigError):
+            Slo(name="x", signal="s", objective=1.0, error_budget=0.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigError):
+            Slo(name="x", signal="s", objective=1.0,
+                short_window=60.0, long_window=10.0)
+
+    def test_hysteresis_validation(self):
+        with pytest.raises(ConfigError):
+            Slo(name="x", signal="s", objective=1.0,
+                burn_threshold=1.0, clear_threshold=2.0)
+
+    def test_goodness_directions(self):
+        below = Slo(name="a", signal="s", objective=5.0, direction=BELOW)
+        above = Slo(name="b", signal="s", objective=0.99, direction=ABOVE)
+        assert below.is_good(5.0) and not below.is_good(5.1)
+        assert above.is_good(1.0) and not above.is_good(0.5)
+
+    def test_duplicate_registration_rejected(self):
+        _, monitor, _ = make_monitor()
+        with pytest.raises(ConfigError):
+            monitor.register(Slo(name="latency", signal="s", objective=1.0))
+
+    def test_unknown_slo_rejected(self):
+        _, monitor, _ = make_monitor()
+        with pytest.raises(ConfigError):
+            monitor.observe("nope", 1.0)
+        with pytest.raises(ConfigError):
+            monitor.burn_rates("nope")
+        with pytest.raises(ConfigError):
+            monitor.is_firing("nope")
+
+
+class TestBurnRates:
+    def test_empty_windows_burn_nothing(self):
+        """Edge case: no observations at all — burn 0, never fires."""
+        _, monitor, _ = make_monitor()
+        assert monitor.burn_rates("latency") == (0.0, 0.0)
+        assert monitor.evaluate() == []
+        assert not monitor.is_firing("latency")
+
+    def test_all_good_burns_nothing(self):
+        clock, monitor, _ = make_monitor()
+        for _ in range(10):
+            monitor.observe("latency", 0.5)
+            clock.advance(1.0)
+        assert monitor.burn_rates("latency") == (0.0, 0.0)
+
+    def test_all_bad_burns_at_inverse_budget(self):
+        clock, monitor, _ = make_monitor()
+        for _ in range(10):
+            monitor.observe("latency", 5.0)
+            clock.advance(1.0)
+        short, long = monitor.burn_rates("latency")
+        assert short == pytest.approx(10.0)  # bad fraction 1.0 / budget 0.1
+        assert long == pytest.approx(10.0)
+
+    def test_short_window_recovers_before_long(self):
+        clock, monitor, _ = make_monitor()
+        for _ in range(20):
+            monitor.observe("latency", 5.0)
+            clock.advance(1.0)
+        for _ in range(15):
+            monitor.observe("latency", 0.5)
+            clock.advance(1.0)
+        short, long = monitor.burn_rates("latency")
+        assert short < 2.0      # recent window is clean
+        assert long > 2.0       # long window still remembers the incident
+
+
+class TestAlertEdges:
+    def test_fires_once_then_resolves_once(self):
+        clock, monitor, _ = make_monitor()
+        # Burn hard: every observation bad.
+        for _ in range(12):
+            monitor.observe("latency", 9.0)
+            clock.advance(1.0)
+        first = monitor.evaluate()
+        assert [a.state for a in first] == [ALERT_FIRING]
+        assert monitor.is_firing("latency")
+        # Still burning: steady state emits nothing (edge-triggered).
+        monitor.observe("latency", 9.0)
+        assert monitor.evaluate() == []
+        # Recover fully; both windows must clean up before resolution.
+        for _ in range(70):
+            monitor.observe("latency", 0.1)
+            clock.advance(1.0)
+        resolved = monitor.evaluate()
+        assert [a.state for a in resolved] == [ALERT_RESOLVED]
+        assert not monitor.is_firing("latency")
+        assert monitor.alerts_emitted == 2
+
+    def test_alert_record_shape(self):
+        clock, monitor, _ = make_monitor()
+        for _ in range(12):
+            monitor.observe("latency", 9.0)
+            clock.advance(1.0)
+        alert = monitor.evaluate()[0]
+        payload = alert.as_dict()
+        assert payload["slo"] == "latency"
+        assert payload["signal"] == "p99_seconds"
+        assert payload["state"] == ALERT_FIRING
+        assert payload["burn_short"] >= 2.0
+        assert payload["burn_long"] >= 2.0
+        assert payload["timestamp"] == clock.now()
+        assert "burn" in payload["reason"]
+
+    def test_no_flapping_at_the_boundary(self):
+        """Hysteresis: a signal hovering around the objective crosses each
+        edge at most once per genuine incident, not once per sample."""
+        clock, monitor, _ = make_monitor(
+            error_budget=0.5, burn_threshold=1.6, clear_threshold=0.8
+        )
+        edges = []
+        # Alternate bad/good forever: bad fraction hovers at 0.5, burn at
+        # 1.0 — inside the hysteresis band [0.8, 1.6) whichever state we
+        # are in, so after the initial settling nothing may flap.
+        for i in range(200):
+            monitor.observe("latency", 9.0 if i % 2 == 0 else 0.1)
+            clock.advance(0.5)
+            edges.extend(monitor.evaluate())
+        assert len(edges) <= 1
+
+    def test_burst_then_quiet_does_fire_and_resolve(self):
+        clock, monitor, _ = make_monitor(
+            error_budget=0.5, burn_threshold=1.6, clear_threshold=0.8
+        )
+        states = []
+        for _ in range(30):  # hard incident
+            monitor.observe("latency", 9.0)
+            clock.advance(1.0)
+            states.extend(a.state for a in monitor.evaluate())
+        for _ in range(80):  # full recovery
+            monitor.observe("latency", 0.1)
+            clock.advance(1.0)
+            states.extend(a.state for a in monitor.evaluate())
+        assert states == [ALERT_FIRING, ALERT_RESOLVED]
+
+
+class TestClockJumps:
+    def test_forward_jump_empties_windows_and_resolves(self):
+        """Edge case: a failover/checkpoint gap jumps the clock far ahead.
+        The windows must empty (stale samples pruned), burn must read 0,
+        and a firing alert must resolve rather than wedge."""
+        clock, monitor, _ = make_monitor()
+        for _ in range(12):
+            monitor.observe("latency", 9.0)
+            clock.advance(1.0)
+        assert [a.state for a in monitor.evaluate()] == [ALERT_FIRING]
+        clock.advance(10_000.0)  # the jump
+        alerts = monitor.evaluate()
+        assert [a.state for a in alerts] == [ALERT_RESOLVED]
+        assert monitor.burn_rates("latency") == (0.0, 0.0)
+        assert monitor.status()[0].samples == 0  # pruned
+
+    def test_jump_without_incident_stays_quiet(self):
+        clock, monitor, _ = make_monitor()
+        monitor.observe("latency", 0.5)
+        clock.advance(10_000.0)
+        assert monitor.evaluate() == []
+
+    def test_old_samples_prune_but_fresh_survive(self):
+        clock, monitor, _ = make_monitor()
+        monitor.observe("latency", 9.0)
+        clock.advance(100.0)  # beyond the 60 s long window
+        monitor.observe("latency", 9.0)
+        monitor.evaluate()
+        assert monitor.status()[0].samples == 1
+
+
+class TestStandardSlos:
+    def test_standard_set_covers_the_four_signals(self):
+        names = {slo.name for slo in standard_slos()}
+        assert names == {
+            "freshness",
+            "consumer_lag",
+            "isr_availability",
+            "standby_staleness",
+        }
+
+    def test_sampler_registers_and_samples(self):
+        from repro.messaging.cluster import MessagingCluster
+
+        cluster = MessagingCluster(num_brokers=1)
+        cluster.create_topic("t", num_partitions=1, replication_factor=1)
+        monitor = SloMonitor(cluster.clock)
+        sampler = ClusterSloSampler(monitor, cluster)
+        sampler.sample()
+        status = {s.slo: s for s in monitor.status()}
+        assert status["isr_availability"].samples == 1
+        assert status["consumer_lag"].samples == 1
+        # Healthy idle cluster: nothing burns.
+        assert monitor.evaluate() == []
+
+    def test_sampler_sees_runner_freshness_and_standbys(self):
+        from repro.messaging.cluster import MessagingCluster
+        from repro.messaging.producer import Producer
+        from repro.processing.job import JobConfig, JobRunner, StoreConfig
+
+        class _Counting:
+            def init(self, context):
+                self.store = context.store("counts")
+
+            def process(self, record, collector):
+                self.store.put(record.key, (self.store.get(record.key) or 0) + 1)
+
+        cluster = MessagingCluster(num_brokers=1)
+        cluster.create_topic("in", num_partitions=1, replication_factor=1)
+        producer = Producer(cluster)
+        for i in range(10):
+            producer.send("in", {"i": i}, key=f"k{i % 3}")
+        runner = JobRunner(
+            JobConfig(
+                name="job",
+                inputs=["in"],
+                task_factory=_Counting,
+                stores=[StoreConfig("counts")],
+                num_standby_replicas=1,
+            ),
+            cluster,
+        )
+        runner.run_until_idle()
+        monitor = SloMonitor(cluster.clock)
+        sampler = ClusterSloSampler(monitor, cluster, runners=[runner])
+        sampler.sample()
+        status = {s.slo: s for s in monitor.status()}
+        assert status["freshness"].samples == 1
+        assert status["standby_staleness"].samples == 1
+        assert runner.freshness() >= 0.0
